@@ -1,0 +1,37 @@
+//! Fig. 14 as a Criterion bench: identification latency (wall-clock of the
+//! simulated protocol run, which is dominated by the reader-side decoding the
+//! paper worries about in §5.1) for Buzz vs Framed Slotted Aloha.
+
+use backscatter_baselines::identification::fsa_identification;
+use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use buzz::identification::{IdentificationConfig, Identifier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identification");
+    group.sample_size(10);
+    for &k in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("buzz", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut scenario =
+                    Scenario::build(ScenarioConfig::paper_uplink(k, 1000 + k as u64)).unwrap();
+                let mut medium = scenario.medium(7).unwrap();
+                Identifier::new(IdentificationConfig::default())
+                    .unwrap()
+                    .run(&mut scenario, &mut medium)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fsa", k), &k, |b, &k| {
+            b.iter(|| {
+                let scenario =
+                    Scenario::build(ScenarioConfig::paper_uplink(k, 1000 + k as u64)).unwrap();
+                fsa_identification(&scenario, 7).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_identification);
+criterion_main!(benches);

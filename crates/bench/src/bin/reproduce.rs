@@ -1,0 +1,80 @@
+//! `reproduce` — regenerates every table and figure of the Buzz paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p buzz-bench --bin reproduce            # everything
+//! cargo run --release -p buzz-bench --bin reproduce fig10      # one artefact
+//! cargo run --release -p buzz-bench --bin reproduce fig14 --locations 10
+//! cargo run --release -p buzz-bench --bin reproduce all --json results.json
+//! ```
+//!
+//! Valid experiment ids: `table12`, `fig2_3`, `fig7`, `fig8`, `fig9`, `fig10`,
+//! `fig11`, `fig12`, `fig13`, `fig14`, `lemma51`, `headline`, `all`.
+
+use std::io::Write as _;
+
+use buzz_bench::experiments;
+use buzz_bench::ExperimentReport;
+
+const BASE_SEED: u64 = 2012;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut locations = experiments::DEFAULT_LOCATIONS;
+    let mut json_path: Option<String> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--locations" => {
+                if let Some(v) = it.next() {
+                    locations = v.parse().unwrap_or(locations);
+                }
+            }
+            "--json" => {
+                json_path = it.next().cloned();
+            }
+            other if !other.starts_with("--") => which = other.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+
+    let reports: Vec<ExperimentReport> = match which.as_str() {
+        "all" => experiments::run_all(locations, BASE_SEED),
+        "table12" | "table1-2" => vec![experiments::table12()],
+        "fig2_3" | "fig2" | "fig3" => vec![experiments::fig2_3(BASE_SEED)],
+        "fig7" => vec![experiments::fig7(BASE_SEED)],
+        "fig8" => vec![experiments::fig8()],
+        "fig9" => vec![experiments::fig9(BASE_SEED)],
+        "fig10" => vec![experiments::fig10(locations, BASE_SEED)],
+        "fig11" => vec![experiments::fig11(locations, BASE_SEED)],
+        "fig12" => vec![experiments::fig12(locations, BASE_SEED)],
+        "fig13" => vec![experiments::fig13(locations, BASE_SEED)],
+        "fig14" => vec![experiments::fig14(locations, BASE_SEED)],
+        "lemma51" | "lemma5.1" => vec![experiments::lemma51(BASE_SEED)],
+        "headline" => vec![experiments::headline(locations, BASE_SEED)],
+        other => {
+            eprintln!("unknown experiment `{other}`; see --help text in the module docs");
+            std::process::exit(2);
+        }
+    };
+
+    for report in &reports {
+        println!("{}", report.render());
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to serialize results: {e}"),
+        }
+    }
+}

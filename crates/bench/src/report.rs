@@ -1,0 +1,101 @@
+//! Plain-text experiment reports.
+
+use serde::Serialize;
+
+/// A small table of results for one reproduced figure or table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier (e.g. "fig10").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What the paper reports for this artefact (for side-by-side reading).
+    pub paper_expectation: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations computed from the rows (speed-ups, loss rates…).
+    pub findings: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &str, title: &str, paper_expectation: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_expectation: paper_expectation.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Adds a finding.
+    pub fn push_finding(&mut self, finding: String) {
+        self.findings.push(finding);
+    }
+
+    /// Renders the report as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n", self.paper_expectation));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for finding in &self.findings {
+            out.push_str(&format!("-> {finding}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = ExperimentReport::new("figX", "Example", "expect things", &["a", "bb"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.push_row(vec!["333".into(), "4".into()]);
+        r.push_finding("done".into());
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("expect things"));
+        assert!(text.contains("333"));
+        assert!(text.contains("-> done"));
+    }
+}

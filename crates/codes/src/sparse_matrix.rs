@@ -1,0 +1,357 @@
+//! Sparse binary matrices.
+//!
+//! Two central objects in Buzz are random binary matrices that are sparse by
+//! construction:
+//!
+//! * the sensing matrix `A` of the identification phase (`M × N'` where `N'`
+//!   is the pruned temporary-id space), whose column `i` is the transmit
+//!   pattern of id `i`, and
+//! * the participation matrix `D` of the data phase (`L × K`), whose entry
+//!   `d_{j,i} = 1` when node `i` transmits its message in slot `j`.
+//!
+//! Both are stored here in a compressed sparse-row layout with an auxiliary
+//! per-column index, because the decoders need fast access along both axes:
+//! the belief-propagation decoder walks a flipped bit's column to find the
+//! slots it affects, then walks each such slot's row to find the neighbouring
+//! bits whose gains must be updated.
+
+use backscatter_prng::NodeSeed;
+
+use crate::{CodeError, CodeResult};
+
+/// A sparse binary matrix with row-major and column-major adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBinaryMatrix {
+    rows: usize,
+    cols: usize,
+    /// For each row, the sorted column indices holding a 1.
+    row_entries: Vec<Vec<usize>>,
+    /// For each column, the sorted row indices holding a 1.
+    col_entries: Vec<Vec<usize>>,
+}
+
+impl SparseBinaryMatrix {
+    /// Creates an all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_entries: vec![Vec::new(); rows],
+            col_entries: vec![Vec::new(); cols],
+        }
+    }
+
+    /// Builds a matrix from an explicit list of `(row, col)` ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] if any coordinate is out of
+    /// bounds.
+    pub fn from_ones(rows: usize, cols: usize, ones: &[(usize, usize)]) -> CodeResult<Self> {
+        let mut m = Self::zeros(rows, cols);
+        for &(r, c) in ones {
+            m.set(r, c)?;
+        }
+        Ok(m)
+    }
+
+    /// Builds the matrix whose entry `(slot, node)` is 1 when the node's seed
+    /// says it participates in that slot with probability `p` — i.e. the
+    /// data-phase participation matrix `D`.
+    ///
+    /// Both the simulator's tags and the reader's decoder call this with the
+    /// same seeds, so they construct the same matrix independently.
+    #[must_use]
+    pub fn from_seeds(slots: usize, seeds: &[NodeSeed], p: f64) -> Self {
+        let mut m = Self::zeros(slots, seeds.len());
+        for (col, seed) in seeds.iter().enumerate() {
+            for row in 0..slots {
+                if seed.participates_in_slot(row as u64, p) {
+                    // Safe: row/col are in range by construction.
+                    let _ = m.set(row, col);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds the identification-phase sensing matrix `A`: entry `(slot, id)`
+    /// is 1 when the id's seed transmits a "1" in that slot of the
+    /// compressive-sensing stage (probability `p`, typically 0.5).
+    ///
+    /// Uses [`NodeSeed::sensing_in_slot`], which is domain-separated from the
+    /// data-phase stream so `A` and `D` are independent.
+    #[must_use]
+    pub fn from_sensing_seeds(slots: usize, seeds: &[NodeSeed], p: f64) -> Self {
+        let mut m = Self::zeros(slots, seeds.len());
+        for (col, seed) in seeds.iter().enumerate() {
+            for row in 0..slots {
+                if seed.sensing_in_slot(row as u64, p) {
+                    let _ = m.set(row, col);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets entry `(row, col)` to 1 (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] for out-of-bounds coordinates.
+    pub fn set(&mut self, row: usize, col: usize) -> CodeResult<()> {
+        if row >= self.rows {
+            return Err(CodeError::IndexOutOfRange {
+                index: row,
+                bound: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(CodeError::IndexOutOfRange {
+                index: col,
+                bound: self.cols,
+            });
+        }
+        if let Err(pos) = self.row_entries[row].binary_search(&col) {
+            self.row_entries[row].insert(pos, col);
+        }
+        if let Err(pos) = self.col_entries[col].binary_search(&row) {
+            self.col_entries[col].insert(pos, row);
+        }
+        Ok(())
+    }
+
+    /// Whether entry `(row, col)` is 1; out-of-bounds coordinates read as 0.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.row_entries
+            .get(row)
+            .is_some_and(|r| r.binary_search(&col).is_ok())
+    }
+
+    /// The column indices holding a 1 in `row` (the nodes colliding in that
+    /// slot).  Out-of-range rows return an empty slice.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[usize] {
+        self.row_entries.get(row).map_or(&[], Vec::as_slice)
+    }
+
+    /// The row indices holding a 1 in `col` (the slots a node participates
+    /// in).  Out-of-range columns return an empty slice.
+    #[must_use]
+    pub fn col(&self, col: usize) -> &[usize] {
+        self.col_entries.get(col).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of ones.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.row_entries.iter().map(Vec::len).sum()
+    }
+
+    /// The density (fraction of entries that are 1).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Appends a new row given the set of columns holding a 1, returning the
+    /// new row's index.  This is how the rateless data phase grows `D` one
+    /// collision slot at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] if any column is out of bounds.
+    pub fn push_row(&mut self, cols_with_one: &[usize]) -> CodeResult<usize> {
+        for &c in cols_with_one {
+            if c >= self.cols {
+                return Err(CodeError::IndexOutOfRange {
+                    index: c,
+                    bound: self.cols,
+                });
+            }
+        }
+        let row = self.rows;
+        let mut sorted = cols_with_one.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &c in &sorted {
+            self.col_entries[c].push(row);
+        }
+        self.row_entries.push(sorted);
+        self.rows += 1;
+        Ok(row)
+    }
+
+    /// Restricts the matrix to a subset of its columns (in the given order),
+    /// producing the reduced sensing matrix `A'` of §5.1-C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] for any bad column index.
+    pub fn select_columns(&self, columns: &[usize]) -> CodeResult<Self> {
+        for &c in columns {
+            if c >= self.cols {
+                return Err(CodeError::IndexOutOfRange {
+                    index: c,
+                    bound: self.cols,
+                });
+            }
+        }
+        let mut out = Self::zeros(self.rows, columns.len());
+        for (new_col, &old_col) in columns.iter().enumerate() {
+            for &row in self.col(old_col) {
+                let _ = out.set(row, new_col);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies the matrix by a real vector (`y = M · x`), used by tests and
+    /// by the recovery diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] if `x` is not `cols` long.
+    pub fn mul_vec(&self, x: &[f64]) -> CodeResult<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(CodeError::LengthMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok(self
+            .row_entries
+            .iter()
+            .map(|cols| cols.iter().map(|&c| x[c]).sum())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let m = SparseBinaryMatrix::zeros(3, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert!(!m.get(0, 0));
+        assert!(!m.get(99, 99));
+    }
+
+    #[test]
+    fn set_get_round_trip_and_idempotence() {
+        let mut m = SparseBinaryMatrix::zeros(4, 4);
+        m.set(1, 2).unwrap();
+        m.set(1, 2).unwrap();
+        assert!(m.get(1, 2));
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(1), &[2]);
+        assert_eq!(m.col(2), &[1]);
+        assert!(m.set(4, 0).is_err());
+        assert!(m.set(0, 4).is_err());
+    }
+
+    #[test]
+    fn from_ones_builds_both_indices() {
+        let m =
+            SparseBinaryMatrix::from_ones(3, 3, &[(0, 0), (1, 0), (1, 2), (2, 1)]).unwrap();
+        assert_eq!(m.row(1), &[0, 2]);
+        assert_eq!(m.col(0), &[0, 1]);
+        assert_eq!(m.nnz(), 4);
+        assert!(SparseBinaryMatrix::from_ones(2, 2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn from_seeds_matches_per_node_decisions() {
+        let seeds: Vec<NodeSeed> = (0..8).map(NodeSeed).collect();
+        let p = 0.3;
+        let m = SparseBinaryMatrix::from_seeds(20, &seeds, p);
+        assert_eq!(m.rows(), 20);
+        assert_eq!(m.cols(), 8);
+        for (col, seed) in seeds.iter().enumerate() {
+            for row in 0..20 {
+                assert_eq!(m.get(row, col), seed.participates_in_slot(row as u64, p));
+            }
+        }
+    }
+
+    #[test]
+    fn from_sensing_seeds_matches_per_id_decisions_and_differs_from_data() {
+        let seeds: Vec<NodeSeed> = (0..6).map(NodeSeed).collect();
+        let a = SparseBinaryMatrix::from_sensing_seeds(40, &seeds, 0.5);
+        for (col, seed) in seeds.iter().enumerate() {
+            for row in 0..40 {
+                assert_eq!(a.get(row, col), seed.sensing_in_slot(row as u64, 0.5));
+            }
+        }
+        let d = SparseBinaryMatrix::from_seeds(40, &seeds, 0.5);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn density_tracks_probability() {
+        let seeds: Vec<NodeSeed> = (0..50).map(NodeSeed).collect();
+        let m = SparseBinaryMatrix::from_seeds(200, &seeds, 0.2);
+        assert!((m.density() - 0.2).abs() < 0.03, "density = {}", m.density());
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = SparseBinaryMatrix::zeros(0, 5);
+        let r0 = m.push_row(&[1, 3]).unwrap();
+        let r1 = m.push_row(&[3, 3, 0]).unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[0, 3]);
+        assert_eq!(m.col(3), &[0, 1]);
+        assert!(m.push_row(&[5]).is_err());
+    }
+
+    #[test]
+    fn select_columns_produces_reduced_matrix() {
+        let m =
+            SparseBinaryMatrix::from_ones(3, 4, &[(0, 0), (0, 3), (1, 1), (2, 3)]).unwrap();
+        let reduced = m.select_columns(&[3, 1]).unwrap();
+        assert_eq!(reduced.cols(), 2);
+        assert!(reduced.get(0, 0)); // old column 3, row 0
+        assert!(reduced.get(2, 0)); // old column 3, row 2
+        assert!(reduced.get(1, 1)); // old column 1, row 1
+        assert!(!reduced.get(0, 1));
+        assert!(m.select_columns(&[4]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_dense_computation() {
+        let m =
+            SparseBinaryMatrix::from_ones(2, 3, &[(0, 0), (0, 2), (1, 1)]).unwrap();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![4.0, 2.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_row_col_views_are_empty() {
+        let m = SparseBinaryMatrix::zeros(2, 2);
+        assert!(m.row(10).is_empty());
+        assert!(m.col(10).is_empty());
+    }
+}

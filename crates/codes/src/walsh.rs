@@ -1,0 +1,240 @@
+//! Walsh–Hadamard orthogonal spreading codes.
+//!
+//! The paper's CDMA baseline (§9) uses synchronous CDMA with Walsh codes: each
+//! of the K tags spreads every data bit over a length-`SF` chip sequence, all
+//! tags transmit concurrently, and the reader despreads by correlating with
+//! each tag's code.  Walsh codes only exist for power-of-two lengths, which is
+//! why the paper's 12-tag experiment had to fall back to length-16 codes.
+
+use crate::{CodeError, CodeResult};
+
+/// A Walsh–Hadamard code set of a power-of-two spreading factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalshCode {
+    spreading_factor: usize,
+    /// Row-major Hadamard matrix with entries mapped to `bool`
+    /// (`true` = +1 chip, `false` = −1 chip).
+    rows: Vec<Vec<bool>>,
+}
+
+impl WalshCode {
+    /// Constructs the Walsh code set of the given spreading factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameter`] unless the spreading factor is
+    /// a power of two (and at least 2).
+    pub fn new(spreading_factor: usize) -> CodeResult<Self> {
+        if spreading_factor < 2 || !spreading_factor.is_power_of_two() {
+            return Err(CodeError::InvalidParameter(
+                "Walsh spreading factor must be a power of two ≥ 2",
+            ));
+        }
+        // Sylvester construction: H_{2n} = [[H_n, H_n], [H_n, -H_n]].
+        let mut rows = vec![vec![true]];
+        let mut size = 1;
+        while size < spreading_factor {
+            let mut next = Vec::with_capacity(size * 2);
+            for row in &rows {
+                let mut r = row.clone();
+                r.extend(row.iter().copied());
+                next.push(r);
+            }
+            for row in &rows {
+                let mut r = row.clone();
+                r.extend(row.iter().map(|&b| !b));
+                next.push(r);
+            }
+            rows = next;
+            size *= 2;
+        }
+        Ok(Self {
+            spreading_factor,
+            rows,
+        })
+    }
+
+    /// The smallest valid spreading factor that can give `k` tags distinct
+    /// codes (the paper's rule: for 12 tags, use length-16 codes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameter`] for `k == 0`.
+    pub fn for_tags(k: usize) -> CodeResult<Self> {
+        if k == 0 {
+            return Err(CodeError::InvalidParameter(
+                "need at least one tag for a code assignment",
+            ));
+        }
+        Self::new(k.next_power_of_two().max(2))
+    }
+
+    /// The spreading factor (chips per data bit).
+    #[must_use]
+    pub fn spreading_factor(&self) -> usize {
+        self.spreading_factor
+    }
+
+    /// The chip sequence of code `index` as ±1 values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] for an index ≥ spreading factor.
+    pub fn chips(&self, index: usize) -> CodeResult<Vec<i8>> {
+        let row = self
+            .rows
+            .get(index)
+            .ok_or(CodeError::IndexOutOfRange {
+                index,
+                bound: self.spreading_factor,
+            })?;
+        Ok(row.iter().map(|&b| if b { 1 } else { -1 }).collect())
+    }
+
+    /// Spreads a data bit string with code `index`: each data bit becomes
+    /// `spreading_factor` chips (`bit ? +code : -code`), returned as ±1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] for a bad code index.
+    pub fn spread(&self, index: usize, bits: &[bool]) -> CodeResult<Vec<i8>> {
+        let code = self.chips(index)?;
+        let mut out = Vec::with_capacity(bits.len() * self.spreading_factor);
+        for &bit in bits {
+            let sign = if bit { 1 } else { -1 };
+            out.extend(code.iter().map(|&c| c * sign));
+        }
+        Ok(out)
+    }
+
+    /// Despreads a chip-rate real-valued received stream with code `index`,
+    /// returning one correlation value per data bit (positive ⇒ "1").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] if the received stream is not a
+    /// whole number of spreading periods, or [`CodeError::IndexOutOfRange`]
+    /// for a bad code index.
+    pub fn despread(&self, index: usize, received: &[f64]) -> CodeResult<Vec<f64>> {
+        if received.len() % self.spreading_factor != 0 {
+            return Err(CodeError::LengthMismatch {
+                expected: (received.len() / self.spreading_factor + 1) * self.spreading_factor,
+                actual: received.len(),
+            });
+        }
+        let code = self.chips(index)?;
+        Ok(received
+            .chunks_exact(self.spreading_factor)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .zip(&code)
+                    .map(|(&r, &c)| r * f64::from(c))
+                    .sum::<f64>()
+                    / self.spreading_factor as f64
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backscatter_prng::BitStream;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(WalshCode::new(0).is_err());
+        assert!(WalshCode::new(1).is_err());
+        assert!(WalshCode::new(12).is_err());
+        assert!(WalshCode::new(16).is_ok());
+    }
+
+    #[test]
+    fn for_tags_rounds_up() {
+        assert_eq!(WalshCode::for_tags(12).unwrap().spreading_factor(), 16);
+        assert_eq!(WalshCode::for_tags(4).unwrap().spreading_factor(), 4);
+        assert_eq!(WalshCode::for_tags(1).unwrap().spreading_factor(), 2);
+        assert!(WalshCode::for_tags(0).is_err());
+    }
+
+    #[test]
+    fn codes_are_mutually_orthogonal() {
+        let w = WalshCode::new(16).unwrap();
+        for i in 0..16 {
+            for j in 0..16 {
+                let a = w.chips(i).unwrap();
+                let b = w.chips(j).unwrap();
+                let dot: i32 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                    .sum();
+                if i == j {
+                    assert_eq!(dot, 16);
+                } else {
+                    assert_eq!(dot, 0, "codes {i} and {j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chips_index_bound() {
+        let w = WalshCode::new(8).unwrap();
+        assert!(w.chips(8).is_err());
+        assert!(w.chips(7).is_ok());
+    }
+
+    #[test]
+    fn spread_despread_round_trip() {
+        let w = WalshCode::new(8).unwrap();
+        let mut stream = BitStream::seed_from_u64(3);
+        let bits = stream.take_bits(64);
+        let chips = w.spread(3, &bits).unwrap();
+        assert_eq!(chips.len(), 64 * 8);
+        let received: Vec<f64> = chips.iter().map(|&c| f64::from(c)).collect();
+        let correlations = w.despread(3, &received).unwrap();
+        let decoded: Vec<bool> = correlations.iter().map(|&c| c > 0.0).collect();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn synchronous_superposition_separates_users() {
+        // Two users with different codes and amplitudes, transmitted
+        // concurrently; despreading recovers each user's bits.
+        let w = WalshCode::new(8).unwrap();
+        let mut s1 = BitStream::seed_from_u64(10);
+        let mut s2 = BitStream::seed_from_u64(11);
+        let bits1 = s1.take_bits(32);
+        let bits2 = s2.take_bits(32);
+        let c1 = w.spread(1, &bits1).unwrap();
+        let c2 = w.spread(5, &bits2).unwrap();
+        let received: Vec<f64> = c1
+            .iter()
+            .zip(&c2)
+            .map(|(&a, &b)| 0.8 * f64::from(a) + 0.3 * f64::from(b))
+            .collect();
+        let d1: Vec<bool> = w
+            .despread(1, &received)
+            .unwrap()
+            .iter()
+            .map(|&c| c > 0.0)
+            .collect();
+        let d2: Vec<bool> = w
+            .despread(5, &received)
+            .unwrap()
+            .iter()
+            .map(|&c| c > 0.0)
+            .collect();
+        assert_eq!(d1, bits1);
+        assert_eq!(d2, bits2);
+    }
+
+    #[test]
+    fn despread_length_check() {
+        let w = WalshCode::new(4).unwrap();
+        assert!(w.despread(0, &[1.0; 6]).is_err());
+        assert!(w.despread(0, &[1.0; 8]).is_ok());
+    }
+}

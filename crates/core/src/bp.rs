@@ -1,0 +1,892 @@
+//! The belief-propagation (bit-flipping) decoder of the data phase.
+//!
+//! §6(c) of the paper: the reader knows the channel matrix `H` (from
+//! identification), can regenerate the participation matrix `D` (shared
+//! pseudorandom rule), and has received the collision symbols `Y = D·H·B`.
+//! It recovers the binary message matrix `B` one bit-position at a time by a
+//! greedy bit-flipping search on the collision bipartite graph:
+//!
+//! 1. start from a candidate bit vector `b̂`,
+//! 2. for each node `i` maintain the gain `G_i` — the reduction in
+//!    `‖D·H·b̂ − y‖²` obtained by flipping bit `i`,
+//! 3. repeatedly flip the bit with the largest positive gain, updating only
+//!    the gains of that node and of the nodes it has collided with
+//!    (neighbours-of-neighbours in the graph),
+//! 4. stop when every gain is non-positive.
+//!
+//! The decoder is *incremental* (rateless): as new collision slots arrive the
+//! caller appends them and re-decodes; messages whose CRC already passed are
+//! locked (their gains pinned to −∞, matching the paper's optimization for the
+//! near-far effect) so later iterations cannot corrupt them.
+
+use backscatter_codes::message::Message;
+use backscatter_codes::sparse_matrix::SparseBinaryMatrix;
+use backscatter_phy::complex::Complex;
+use backscatter_prng::{Rng64, SplitMix64, Xoshiro256};
+
+use crate::{BuzzError, BuzzResult};
+
+/// The reader's incremental collision decoder.
+#[derive(Debug, Clone)]
+pub struct BitFlippingDecoder {
+    /// Estimated channel coefficient per node (column order of `D`).
+    channels: Vec<Complex>,
+    /// Framed message length in bits (payload + CRC).
+    message_bits: usize,
+    /// Participation matrix accumulated so far (`L × K`).
+    d: SparseBinaryMatrix,
+    /// Received symbols: `y[slot][bit position]`.
+    y: Vec<Vec<Complex>>,
+    /// Locked (CRC-verified) framed messages per node.
+    locked: Vec<Option<Vec<bool>>>,
+    /// The reader's estimate of the per-symbol noise power (measured on
+    /// silence before the phase starts).  Used to gate CRC locking with a
+    /// goodness-of-fit check — a 5-bit CRC alone is too weak against the many
+    /// garbage candidates an incremental decoder produces.
+    noise_power: f64,
+    /// Each unlocked node's candidate frame at the end of the previous
+    /// [`BitFlippingDecoder::decode`] call, together with how many slots the
+    /// node had participated in at that point and how many consecutive
+    /// new-evidence checks the candidate has survived unchanged.  A candidate
+    /// that stays identical while new evidence keeps arriving is accepted even
+    /// when the goodness-of-fit gate cannot be met (e.g. unmodelled
+    /// interference).
+    previous_candidates: Vec<Option<CandidateSnapshot>>,
+    /// Safety cap on flips per bit position per decode call.
+    max_flips_per_position: usize,
+}
+
+/// A remembered candidate frame used by the stability locking gate.
+#[derive(Debug, Clone, PartialEq)]
+struct CandidateSnapshot {
+    /// The candidate framed bits at the time of the snapshot.
+    frame: Vec<bool>,
+    /// How many slots the node had participated in at the time.
+    evidence: usize,
+    /// How many consecutive new-evidence decode calls left the candidate
+    /// unchanged.
+    stable_streak: u32,
+}
+
+/// The outcome of one decode pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeState {
+    /// Per-node decoded *payloads* for every node whose CRC has passed
+    /// (`None` for still-undecoded nodes).
+    pub decoded_payloads: Vec<Option<Vec<bool>>>,
+    /// Node indices newly decoded during this pass.
+    pub newly_decoded: Vec<usize>,
+    /// The current best-guess framed bits for every node (locked or not).
+    pub candidate_frames: Vec<Vec<bool>>,
+}
+
+impl DecodeState {
+    /// Number of nodes decoded so far.
+    #[must_use]
+    pub fn decoded_count(&self) -> usize {
+        self.decoded_payloads.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether every node has been decoded.
+    #[must_use]
+    pub fn all_decoded(&self) -> bool {
+        self.decoded_payloads.iter().all(Option::is_some)
+    }
+}
+
+impl BitFlippingDecoder {
+    /// Creates a decoder for `channels.len()` nodes with framed messages of
+    /// `message_bits` bits.  `noise_power` is the reader's estimate of the
+    /// per-symbol noise power (readers measure this on silence; pass 0.0 to
+    /// disable the goodness-of-fit gate and rely on the CRC alone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuzzError::InvalidParameter`] for an empty channel list, a
+    /// framed length too short to carry a CRC-5, or a negative noise power.
+    pub fn new(channels: Vec<Complex>, message_bits: usize, noise_power: f64) -> BuzzResult<Self> {
+        if channels.is_empty() {
+            return Err(BuzzError::InvalidParameter(
+                "decoder needs at least one node",
+            ));
+        }
+        if message_bits < 6 {
+            return Err(BuzzError::InvalidParameter(
+                "framed messages must be at least 6 bits (payload + CRC-5)",
+            ));
+        }
+        if !(noise_power >= 0.0 && noise_power.is_finite()) {
+            return Err(BuzzError::InvalidParameter(
+                "noise power must be finite and non-negative",
+            ));
+        }
+        let k = channels.len();
+        Ok(Self {
+            channels,
+            message_bits,
+            d: SparseBinaryMatrix::zeros(0, k),
+            y: Vec::new(),
+            locked: vec![None; k],
+            noise_power,
+            previous_candidates: vec![None; k],
+            max_flips_per_position: 200 * k,
+        })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of collision slots absorbed so far.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.d.rows()
+    }
+
+    /// Appends one collision slot: which nodes participated and the
+    /// `message_bits` received symbols of that slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuzzError::InvalidParameter`] if the lengths do not match the
+    /// decoder's node count / message length.
+    pub fn add_slot(&mut self, participants: &[bool], symbols: Vec<Complex>) -> BuzzResult<()> {
+        if participants.len() != self.channels.len() {
+            return Err(BuzzError::InvalidParameter(
+                "participation vector must cover every node",
+            ));
+        }
+        if symbols.len() != self.message_bits {
+            return Err(BuzzError::InvalidParameter(
+                "slot must carry one symbol per message bit",
+            ));
+        }
+        let cols: Vec<usize> = participants
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .collect();
+        self.d.push_row(&cols)?;
+        self.y.push(symbols);
+        Ok(())
+    }
+
+    /// Runs one decode pass over all bit positions, locks any node whose
+    /// candidate frame now passes its CRC, and reports progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuzzError::InvalidParameter`] if called before any slot has
+    /// been added.
+    pub fn decode(&mut self) -> BuzzResult<DecodeState> {
+        if self.y.is_empty() {
+            return Err(BuzzError::InvalidParameter(
+                "decode requires at least one collision slot",
+            ));
+        }
+        let k = self.channels.len();
+        let p = self.message_bits;
+
+        // Decode-and-lock until a fixed point: each pass decodes every bit
+        // position (bits at different positions never collide with each
+        // other), CRC-checks the candidate frames, and locks the ones that
+        // pass.  Locking a strong node's message pins its bits in the next
+        // pass, which is the "ripple effect" §8.2 describes — weaker nodes
+        // become decodable once their collision partners are resolved.
+        let mut frames: Vec<Vec<bool>> = vec![vec![false; p]; k];
+        let mut newly_decoded = Vec::new();
+        loop {
+            for position in 0..p {
+                let bits = self.decode_position(position);
+                for (node, &bit) in bits.iter().enumerate() {
+                    frames[node][position] = bit;
+                }
+            }
+
+            // Lock candidates that pass the CRC *and* one of two confidence
+            // checks.  The CRC alone (5 bits) is too weak against the many
+            // garbage candidates an incremental decoder produces, and a false
+            // lock would poison all subsequent decoding.  A candidate is
+            // trusted when either
+            //   (a) the fit over the slots it participated in is explained by
+            //       noise (goodness-of-fit gate), or
+            //   (b) the candidate is unchanged from the previous decode call
+            //       even though new collision slots involving the node have
+            //       arrived since (stability gate) — this path covers
+            //       unmodelled interference, where residuals never reach the
+            //       noise floor but correct messages still stabilize.
+            let per_slot_residual = self.per_slot_residual_power(&frames);
+            let mut locked_this_pass = false;
+            for node in 0..k {
+                if self.locked[node].is_some() {
+                    continue;
+                }
+                if !matches!(Message::verify(&frames[node]), Ok(Some(_))) {
+                    continue;
+                }
+                let fit_ok = self.fit_is_plausible(node, &per_slot_residual);
+                // The stability path tolerates a residual floor above the
+                // noise (unmodelled interference, imperfect channel
+                // estimates) but still insists that the node's *own* signal is
+                // mostly explained — a wrong frame leaves ≈|h|² of unexplained
+                // energy in the node's slots and is rejected regardless of how
+                // stable it looks.
+                let slots_of_node = self.d.col(node);
+                let own_fit_ok = !slots_of_node.is_empty() && {
+                    let mean_residual: f64 = slots_of_node
+                        .iter()
+                        .map(|&j| per_slot_residual[j])
+                        .sum::<f64>()
+                        / slots_of_node.len() as f64;
+                    mean_residual
+                        <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
+                };
+                let stable_ok = own_fit_ok
+                    && match &self.previous_candidates[node] {
+                        Some(snapshot) => {
+                            snapshot.frame == frames[node]
+                                && self.d.col(node).len() > snapshot.evidence
+                                && snapshot.stable_streak >= 1
+                        }
+                        None => false,
+                    };
+                if fit_ok || stable_ok {
+                    self.locked[node] = Some(frames[node].clone());
+                    newly_decoded.push(node);
+                    locked_this_pass = true;
+                }
+            }
+            let all_locked = self.locked.iter().all(Option::is_some);
+            if !locked_this_pass || all_locked {
+                break;
+            }
+        }
+
+        // Snapshot the remaining candidates so the next decode call (after new
+        // slots arrive) can apply the stability gate.
+        for node in 0..k {
+            if self.locked[node].is_some() {
+                continue;
+            }
+            let evidence = self.d.col(node).len();
+            let streak = match &self.previous_candidates[node] {
+                Some(prev) if prev.frame == frames[node] => {
+                    if evidence > prev.evidence {
+                        prev.stable_streak + 1
+                    } else {
+                        prev.stable_streak
+                    }
+                }
+                _ => 0,
+            };
+            self.previous_candidates[node] = Some(CandidateSnapshot {
+                frame: frames[node].clone(),
+                evidence,
+                stable_streak: streak,
+            });
+        }
+
+        // With the pass finished, refine the channel estimates from the data
+        // itself: the (mostly correct) candidate bit matrix and the received
+        // symbols over-determine `H`, and a least-squares refit washes out the
+        // estimation error the identification phase left behind.  The improved
+        // estimates take effect on the next decode call.
+        if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
+            self.reestimate_channels(&frames);
+        }
+
+        let decoded_payloads = self
+            .locked
+            .iter()
+            .map(|l| l.as_ref().map(|f| f[..f.len() - 5].to_vec()))
+            .collect();
+        Ok(DecodeState {
+            decoded_payloads,
+            newly_decoded,
+            candidate_frames: frames,
+        })
+    }
+
+    /// Refits the channel estimates of *locked* nodes by least squares.
+    ///
+    /// The model `y_{j,pos} = Σ_i D_{j,i}·b_{i,pos}·h_i` is linear in `h`, so
+    /// once some messages are CRC-verified their bits are known exactly and
+    /// the slots containing only locked nodes over-determine those nodes'
+    /// channels.  Replacing the (noisier) identification-phase estimates with
+    /// this refit sharpens the interference cancellation that still-undecoded
+    /// nodes depend on.  Slots containing any unlocked node are excluded so a
+    /// wrong candidate can never distort the refit.
+    fn reestimate_channels(&mut self, _frames: &[Vec<bool>]) {
+        let k = self.channels.len();
+        let p = self.message_bits;
+        let locked_only_slots: Vec<usize> = (0..self.d.rows())
+            .filter(|&j| self.d.row(j).iter().all(|&i| self.locked[i].is_some()))
+            .collect();
+        if locked_only_slots.is_empty() {
+            return;
+        }
+        let involved: Vec<usize> = (0..k)
+            .filter(|&i| {
+                self.locked[i].is_some()
+                    && locked_only_slots
+                        .iter()
+                        .any(|&j| self.d.col(i).binary_search(&j).is_ok())
+            })
+            .collect();
+        if involved.is_empty() {
+            return;
+        }
+        // Normal equations over the involved nodes only.
+        let n = involved.len();
+        let mut gram = sparse_recovery::linalg::ComplexMatrix::zeros(n, n);
+        let mut gram_real = vec![vec![0.0f64; n]; n];
+        let mut rhs = vec![Complex::ZERO; n];
+        let index_of = |node: usize| involved.iter().position(|&i| i == node);
+        for &j in &locked_only_slots {
+            let cols = self.d.row(j);
+            for pos in 0..p {
+                let active: Vec<usize> = cols
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.locked[i]
+                            .as_ref()
+                            .is_some_and(|frame| frame[pos])
+                    })
+                    .collect();
+                for &i in &active {
+                    let Some(ii) = index_of(i) else { continue };
+                    rhs[ii] += self.y[j][pos];
+                    for &l in &active {
+                        if let Some(ll) = index_of(l) {
+                            gram_real[ii][ll] += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for l in 0..n {
+                let mut v = Complex::new(gram_real[i][l], 0.0);
+                if i == l {
+                    // Tikhonov: keeps rarely-participating nodes solvable.
+                    v += Complex::new(1e-6, 0.0);
+                }
+                gram.set(i, l, v);
+            }
+        }
+        let Ok(refit) = sparse_recovery::linalg::solve_square(&gram, &rhs) else {
+            return;
+        };
+        for (slot_in_refit, &node) in involved.iter().enumerate() {
+            let candidate = refit[slot_in_refit];
+            // Ignore degenerate refits (a node that appears in very few
+            // locked-only symbols can be poorly determined).
+            if candidate.is_finite()
+                && gram_real[slot_in_refit][slot_in_refit] >= (2 * p) as f64
+            {
+                self.channels[node] = candidate;
+            }
+        }
+    }
+
+    /// Looks for a pair of unlocked colliding nodes whose *joint* flip reduces
+    /// the residual error, returning the pair if one exists.  Used to escape
+    /// local minima of the single-bit descent.
+    fn best_pair_flip(&self, b: &[bool], residual: &[Complex]) -> Option<Vec<usize>> {
+        let k = self.channels.len();
+        let change_of = |node: usize| {
+            if b[node] {
+                -self.channels[node]
+            } else {
+                self.channels[node]
+            }
+        };
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for i in 0..k {
+            if self.locked[i].is_some() {
+                continue;
+            }
+            for l in (i + 1)..k {
+                if self.locked[l].is_some() {
+                    continue;
+                }
+                // Only pairs that actually collide somewhere can have a joint
+                // effect that differs from their individual (non-positive)
+                // gains.
+                let shares_slot = self
+                    .d
+                    .col(i)
+                    .iter()
+                    .any(|j| self.d.col(l).binary_search(j).is_ok());
+                if !shares_slot {
+                    continue;
+                }
+                let ci = change_of(i);
+                let cl = change_of(l);
+                let mut joint_gain = 0.0;
+                let mut rows: Vec<usize> = self.d.col(i).to_vec();
+                for &j in self.d.col(l) {
+                    if !rows.contains(&j) {
+                        rows.push(j);
+                    }
+                }
+                for &j in &rows {
+                    let mut delta = Complex::ZERO;
+                    if self.d.get(j, i) {
+                        delta += ci;
+                    }
+                    if self.d.get(j, l) {
+                        delta += cl;
+                    }
+                    joint_gain += residual[j].norm_sqr() - (residual[j] - delta).norm_sqr();
+                }
+                if joint_gain > 1e-9 && best.as_ref().map_or(true, |(g, _)| joint_gain > *g) {
+                    best = Some((joint_gain, vec![i, l]));
+                }
+            }
+        }
+        best.map(|(_, pair)| pair)
+    }
+
+    /// Mean residual power per slot (averaged over bit positions) implied by a
+    /// full candidate frame matrix.
+    fn per_slot_residual_power(&self, frames: &[Vec<bool>]) -> Vec<f64> {
+        let p = self.message_bits;
+        (0..self.d.rows())
+            .map(|j| {
+                let cols = self.d.row(j);
+                let mut total = 0.0;
+                for pos in 0..p {
+                    let fit: Complex = cols
+                        .iter()
+                        .filter(|&&i| frames[i][pos])
+                        .map(|&i| self.channels[i])
+                        .sum();
+                    total += (self.y[j][pos] - fit).norm_sqr();
+                }
+                total / p as f64
+            })
+            .collect()
+    }
+
+    /// Whether the current fit over the slots `node` participated in is good
+    /// enough to trust a CRC match: the mean residual in those slots must be
+    /// explained by noise (plus a small tolerance), or be small relative to
+    /// the node's own signal power.  A node whose candidate bits are wrong
+    /// leaves roughly `|h|²` of unexplained energy in its slots and fails the
+    /// check.
+    fn fit_is_plausible(&self, node: usize, per_slot_residual: &[f64]) -> bool {
+        let slots = self.d.col(node);
+        if slots.is_empty() {
+            // The node never transmitted yet: any CRC match is accidental.
+            return false;
+        }
+        let mean_residual: f64 =
+            slots.iter().map(|&j| per_slot_residual[j]).sum::<f64>() / slots.len() as f64;
+        let signal_power = self.channels[node].norm_sqr();
+        mean_residual <= (4.0 * self.noise_power + 0.05 * signal_power).max(1e-12)
+    }
+
+    /// Greedy bit-flipping for one bit position across all nodes, with a small
+    /// number of random restarts to escape local minima (the error surface of
+    /// a dense collision has more local minima than a sparse one; restarts are
+    /// cheap because K is small).
+    fn decode_position(&self, position: usize) -> Vec<bool> {
+        const RESTARTS: u64 = 4;
+        let mut best: Option<(f64, Vec<bool>)> = None;
+        for restart in 0..RESTARTS {
+            let (error, bits) = self.decode_position_once(position, restart);
+            if best.as_ref().map_or(true, |(e, _)| error < *e) {
+                best = Some((error, bits));
+            }
+            // A (near-)zero residual cannot be improved.
+            if best.as_ref().is_some_and(|(e, _)| *e < 1e-9) {
+                break;
+            }
+        }
+        best.map(|(_, b)| b).unwrap_or_default()
+    }
+
+    /// One greedy descent from a pseudorandom starting point; returns the
+    /// final residual error and bit assignment.
+    fn decode_position_once(&self, position: usize, restart: u64) -> (f64, Vec<bool>) {
+        let k = self.channels.len();
+        let l = self.d.rows();
+
+        // Initial candidate: locked nodes use their verified bit; the rest
+        // start from a deterministic pseudorandom assignment (the paper
+        // initializes at random; determinism here keeps runs reproducible).
+        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(
+            0xb17_f11b ^ position as u64,
+            SplitMix64::mix(l as u64, restart),
+        ));
+        let mut b: Vec<bool> = (0..k)
+            .map(|i| match &self.locked[i] {
+                Some(frame) => frame[position],
+                None => {
+                    if restart == 0 {
+                        // First attempt starts from all-zeros, which converges
+                        // fastest when collisions are sparse.
+                        false
+                    } else {
+                        rng.next_bit()
+                    }
+                }
+            })
+            .collect();
+
+        // Residual r_j = y_j − Σ_i D_{j,i} h_i b_i.
+        let mut residual: Vec<Complex> = (0..l)
+            .map(|j| {
+                let fit: Complex = self
+                    .d
+                    .row(j)
+                    .iter()
+                    .filter(|&&i| b[i])
+                    .map(|&i| self.channels[i])
+                    .sum();
+                self.y[j][position] - fit
+            })
+            .collect();
+
+        // Gain of flipping each unlocked node.
+        let gain = |node: usize, b: &[bool], residual: &[Complex]| -> f64 {
+            let change = if b[node] {
+                -self.channels[node]
+            } else {
+                self.channels[node]
+            };
+            self.d
+                .col(node)
+                .iter()
+                .map(|&j| residual[j].norm_sqr() - (residual[j] - change).norm_sqr())
+                .sum()
+        };
+
+        let mut gains: Vec<f64> = (0..k)
+            .map(|i| {
+                if self.locked[i].is_some() {
+                    f64::NEG_INFINITY
+                } else {
+                    gain(i, &b, &residual)
+                }
+            })
+            .collect();
+
+        for _ in 0..self.max_flips_per_position {
+            // Find the most profitable flip.
+            let (best, &best_gain) = match gains
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+            {
+                Some(x) => x,
+                None => break,
+            };
+            // Decide which nodes to flip this iteration: the single best bit
+            // when it has positive gain, otherwise try to escape the local
+            // minimum by flipping a *pair* of colliding nodes whose joint flip
+            // reduces the error (single-bit descent cannot cross such saddle
+            // points, which become common as more nodes collide per slot).
+            let to_flip: Vec<usize> = if best_gain > 1e-12 {
+                vec![best]
+            } else {
+                match self.best_pair_flip(&b, &residual) {
+                    Some(pair) => pair,
+                    None => break,
+                }
+            };
+            for &node in &to_flip {
+                let change = if b[node] {
+                    -self.channels[node]
+                } else {
+                    self.channels[node]
+                };
+                b[node] = !b[node];
+                for &j in self.d.col(node) {
+                    residual[j] -= change;
+                }
+            }
+            // Update the flipped nodes' gains and those of their
+            // neighbours-of-neighbours (nodes sharing at least one slot).
+            let mut touched: Vec<usize> = to_flip.clone();
+            for &node in &to_flip {
+                for &j in self.d.col(node) {
+                    for &other in self.d.row(j) {
+                        if !touched.contains(&other) {
+                            touched.push(other);
+                        }
+                    }
+                }
+            }
+            for node in touched {
+                gains[node] = if self.locked[node].is_some() {
+                    f64::NEG_INFINITY
+                } else {
+                    gain(node, &b, &residual)
+                };
+            }
+        }
+        let error: f64 = residual.iter().map(|r| r.norm_sqr()).sum();
+        (error, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backscatter_prng::NodeSeed;
+
+    /// Builds a decoder problem: `k` nodes with given channels, random framed
+    /// messages, a participation matrix with probability `p`, and noiseless or
+    /// noisy received symbols.  Returns (decoder, framed messages).
+    fn make_problem(
+        channels: &[Complex],
+        slots: usize,
+        p: f64,
+        noise: f64,
+        seed: u64,
+    ) -> (BitFlippingDecoder, Vec<Vec<bool>>) {
+        let k = channels.len();
+        let frames: Vec<Vec<bool>> = (0..k)
+            .map(|i| Message::standard_32bit(seed * 100 + i as u64).unwrap().framed())
+            .collect();
+        let message_bits = frames[0].len();
+        let mut decoder =
+            BitFlippingDecoder::new(channels.to_vec(), message_bits, noise * noise / 6.0).unwrap();
+        let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(seed * 77 + i)).collect();
+        let mut noise_rng = Xoshiro256::seed_from_u64(seed ^ 0xabcdef);
+        for slot in 0..slots {
+            let participants: Vec<bool> = seeds
+                .iter()
+                .map(|s| s.participates_in_slot(slot as u64, p))
+                .collect();
+            let symbols: Vec<Complex> = (0..message_bits)
+                .map(|pos| {
+                    let mut y = Complex::ZERO;
+                    for i in 0..k {
+                        if participants[i] && frames[i][pos] {
+                            y += channels[i];
+                        }
+                    }
+                    y + Complex::new(
+                        (noise_rng.next_f64() - 0.5) * noise,
+                        (noise_rng.next_f64() - 0.5) * noise,
+                    )
+                })
+                .collect();
+            decoder.add_slot(&participants, symbols).unwrap();
+        }
+        (decoder, frames)
+    }
+
+    fn diverse_channels(k: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..k)
+            .map(|_| {
+                Complex::from_polar(
+                    0.4 + 0.8 * rng.next_f64(),
+                    rng.next_f64() * core::f64::consts::TAU,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(BitFlippingDecoder::new(vec![], 37, 0.0).is_err());
+        assert!(BitFlippingDecoder::new(vec![Complex::ONE], 4, 0.0).is_err());
+        assert!(BitFlippingDecoder::new(vec![Complex::ONE], 37, 0.0).is_ok());
+        assert!(BitFlippingDecoder::new(vec![Complex::ONE], 37, -1.0).is_err());
+    }
+
+    #[test]
+    fn add_slot_validation() {
+        let mut d = BitFlippingDecoder::new(vec![Complex::ONE, Complex::I], 37, 0.0).unwrap();
+        assert!(d.add_slot(&[true], vec![Complex::ZERO; 37]).is_err());
+        assert!(d.add_slot(&[true, false], vec![Complex::ZERO; 10]).is_err());
+        assert!(d.add_slot(&[true, false], vec![Complex::ZERO; 37]).is_ok());
+        assert_eq!(d.slots(), 1);
+    }
+
+    #[test]
+    fn decode_without_slots_errors() {
+        let mut d = BitFlippingDecoder::new(vec![Complex::ONE], 37, 0.0).unwrap();
+        assert!(d.decode().is_err());
+    }
+
+    #[test]
+    fn single_node_decodes_from_one_slot() {
+        let channels = vec![Complex::new(0.8, -0.3)];
+        let (mut decoder, frames) = make_problem(&channels, 1, 1.0, 0.0, 1);
+        let state = decoder.decode().unwrap();
+        assert!(state.all_decoded());
+        assert_eq!(state.decoded_payloads[0].as_ref().unwrap(), &frames[0][..32]);
+        assert_eq!(state.newly_decoded, vec![0]);
+    }
+
+    #[test]
+    fn two_colliding_nodes_decode_noiselessly() {
+        // The Fig. 2(b)/3(b) case: two nodes collide in every slot; the four-
+        // point constellation is decodable from a single collision.
+        let channels = vec![Complex::new(1.0, 0.1), Complex::new(-0.2, 0.7)];
+        let (mut decoder, frames) = make_problem(&channels, 2, 1.0, 0.0, 2);
+        let state = decoder.decode().unwrap();
+        assert!(state.all_decoded());
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(state.decoded_payloads[i].as_ref().unwrap(), &frame[..32]);
+        }
+    }
+
+    #[test]
+    fn eight_nodes_decode_with_sparse_collisions_and_noise() {
+        let channels = diverse_channels(8, 3);
+        let (mut decoder, frames) = make_problem(&channels, 24, 0.5, 0.05, 3);
+        let state = decoder.decode().unwrap();
+        assert!(
+            state.all_decoded(),
+            "decoded only {} of 8",
+            state.decoded_count()
+        );
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(state.decoded_payloads[i].as_ref().unwrap(), &frame[..32]);
+        }
+    }
+
+    #[test]
+    fn incremental_decoding_makes_progress_as_slots_arrive() {
+        // Rateless behaviour: with few slots only some nodes decode; adding
+        // more slots decodes the rest, and already-decoded nodes stay locked.
+        let channels = diverse_channels(10, 7);
+        let (full_decoder, frames) = make_problem(&channels, 30, 0.4, 0.03, 7);
+        // Re-create an empty decoder and feed slots gradually from the same
+        // problem by regenerating it (deterministic).
+        drop(full_decoder);
+        let k = channels.len();
+        let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(7 * 77 + i)).collect();
+        let message_bits = frames[0].len();
+        let mut decoder =
+            BitFlippingDecoder::new(channels.clone(), message_bits, 0.03 * 0.03 / 6.0).unwrap();
+        let mut noise_rng = Xoshiro256::seed_from_u64(7 ^ 0xabcdef);
+        let mut decoded_after = Vec::new();
+        let mut previously_decoded: Vec<usize> = Vec::new();
+        for slot in 0..30u64 {
+            let participants: Vec<bool> = seeds
+                .iter()
+                .map(|s| s.participates_in_slot(slot, 0.4))
+                .collect();
+            let symbols: Vec<Complex> = (0..message_bits)
+                .map(|pos| {
+                    let mut y = Complex::ZERO;
+                    for i in 0..k {
+                        if participants[i] && frames[i][pos] {
+                            y += channels[i];
+                        }
+                    }
+                    y + Complex::new(
+                        (noise_rng.next_f64() - 0.5) * 0.03,
+                        (noise_rng.next_f64() - 0.5) * 0.03,
+                    )
+                })
+                .collect();
+            decoder.add_slot(&participants, symbols).unwrap();
+            let state = decoder.decode().unwrap();
+            // Locked nodes never disappear from the decoded set.
+            for &node in &previously_decoded {
+                assert!(state.decoded_payloads[node].is_some());
+            }
+            previously_decoded = (0..k)
+                .filter(|&n| state.decoded_payloads[n].is_some())
+                .collect();
+            decoded_after.push(state.decoded_count());
+            if state.all_decoded() {
+                break;
+            }
+        }
+        // Progress is monotone and reaches everyone well before 30 slots.
+        assert!(decoded_after.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*decoded_after.last().unwrap(), k);
+        assert!(decoded_after.len() < 30, "took {} slots", decoded_after.len());
+    }
+
+    #[test]
+    fn strong_node_decodes_before_weak_node() {
+        // Near-far: one strong and one weak node, moderate noise.  The strong
+        // node should decode at least as early as the weak one.
+        let channels = vec![Complex::new(1.2, 0.0), Complex::new(0.12, 0.05)];
+        let k = 2;
+        let frames: Vec<Vec<bool>> = (0..k)
+            .map(|i| Message::standard_32bit(900 + i as u64).unwrap().framed())
+            .collect();
+        let message_bits = frames[0].len();
+        let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(31 + i)).collect();
+        let mut decoder =
+            BitFlippingDecoder::new(channels.clone(), message_bits, 0.08 * 0.08 / 6.0).unwrap();
+        let mut noise_rng = Xoshiro256::seed_from_u64(55);
+        let mut first_decoded: Vec<Option<usize>> = vec![None; k];
+        for slot in 0..40u64 {
+            let participants: Vec<bool> = seeds
+                .iter()
+                .map(|s| s.participates_in_slot(slot, 0.8))
+                .collect();
+            let symbols: Vec<Complex> = (0..message_bits)
+                .map(|pos| {
+                    let mut y = Complex::ZERO;
+                    for i in 0..k {
+                        if participants[i] && frames[i][pos] {
+                            y += channels[i];
+                        }
+                    }
+                    y + Complex::new(
+                        (noise_rng.next_f64() - 0.5) * 0.08,
+                        (noise_rng.next_f64() - 0.5) * 0.08,
+                    )
+                })
+                .collect();
+            decoder.add_slot(&participants, symbols).unwrap();
+            let state = decoder.decode().unwrap();
+            for i in 0..k {
+                if state.decoded_payloads[i].is_some() && first_decoded[i].is_none() {
+                    first_decoded[i] = Some(slot as usize);
+                }
+            }
+            if state.all_decoded() {
+                break;
+            }
+        }
+        let strong = first_decoded[0].expect("strong node never decoded");
+        if let Some(weak) = first_decoded[1] {
+            assert!(strong <= weak, "strong {strong} vs weak {weak}");
+        }
+    }
+
+    #[test]
+    fn decoded_messages_never_regress_under_later_noise() {
+        // Once locked, a message's payload must not change even if later slots
+        // are extremely noisy.
+        let channels = diverse_channels(4, 11);
+        let (mut decoder, frames) = make_problem(&channels, 10, 0.8, 0.02, 11);
+        let state = decoder.decode().unwrap();
+        assert!(state.decoded_count() >= 1);
+        let snapshot = state.decoded_payloads.clone();
+        // Feed garbage slots.
+        let mut rng = Xoshiro256::seed_from_u64(999);
+        for _ in 0..5 {
+            let participants = vec![true; 4];
+            let symbols: Vec<Complex> = (0..frames[0].len())
+                .map(|_| Complex::new(rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0))
+                .collect();
+            decoder.add_slot(&participants, symbols).unwrap();
+        }
+        let after = decoder.decode().unwrap();
+        for (before, now) in snapshot.iter().zip(&after.decoded_payloads) {
+            if before.is_some() {
+                assert_eq!(before, now);
+            }
+        }
+    }
+}

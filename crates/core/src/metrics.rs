@@ -1,0 +1,213 @@
+//! Evaluation metrics shared by the experiment harness.
+//!
+//! The paper reports three families of numbers: communication efficiency
+//! (identification time, total transfer time, aggregate bits/symbol),
+//! reliability (messages lost), and energy.  The small structs here aggregate
+//! per-trace results into the per-configuration averages the figures plot.
+
+/// A set of scalar samples with convenience statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleSet {
+    values: Vec<f64>,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample (non-finite samples are ignored).
+    pub fn push(&mut self, value: f64) {
+        if value.is_finite() {
+            self.values.push(value);
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Median (0.0 when empty).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
+    /// Minimum (0.0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::MAX, f64::min).min(f64::MAX)
+    }
+
+    /// Maximum (0.0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN)
+    }
+
+    /// Sample standard deviation (0.0 for fewer than two samples).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Efficiency comparison of one scheme against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyReport {
+    /// Scheme name (e.g. "buzz").
+    pub scheme: String,
+    /// Mean completion time in milliseconds.
+    pub mean_time_ms: f64,
+    /// Mean aggregate rate in bits per symbol.
+    pub mean_bits_per_symbol: f64,
+}
+
+impl EfficiencyReport {
+    /// The speed-up of this scheme relative to `baseline` (time ratio).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &EfficiencyReport) -> f64 {
+        if self.mean_time_ms <= 0.0 {
+            return 0.0;
+        }
+        baseline.mean_time_ms / self.mean_time_ms
+    }
+}
+
+/// Reliability summary of one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Total messages attempted.
+    pub messages_attempted: usize,
+    /// Messages delivered correctly.
+    pub messages_correct: usize,
+}
+
+impl ReliabilityReport {
+    /// Message loss rate in `[0, 1]`.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        if self.messages_attempted == 0 {
+            0.0
+        } else {
+            1.0 - self.messages_correct as f64 / self.messages_attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_set_statistics() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            s.push(v);
+        }
+        s.push(f64::NAN); // ignored
+        assert_eq!(s.len(), 4);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.median() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+        assert!((s.std_dev() - 2.581988897).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_of_odd_count() {
+        let mut s = SampleSet::new();
+        for v in [9.0, 1.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn efficiency_speedup() {
+        let buzz = EfficiencyReport {
+            scheme: "buzz".into(),
+            mean_time_ms: 2.0,
+            mean_bits_per_symbol: 2.0,
+        };
+        let tdma = EfficiencyReport {
+            scheme: "tdma".into(),
+            mean_time_ms: 4.0,
+            mean_bits_per_symbol: 1.0,
+        };
+        assert!((buzz.speedup_over(&tdma) - 2.0).abs() < 1e-12);
+        let degenerate = EfficiencyReport {
+            scheme: "x".into(),
+            mean_time_ms: 0.0,
+            mean_bits_per_symbol: 0.0,
+        };
+        assert_eq!(degenerate.speedup_over(&tdma), 0.0);
+    }
+
+    #[test]
+    fn reliability_loss_rate() {
+        let r = ReliabilityReport {
+            scheme: "cdma".into(),
+            messages_attempted: 8,
+            messages_correct: 4,
+        };
+        assert!((r.loss_rate() - 0.5).abs() < 1e-12);
+        let empty = ReliabilityReport {
+            scheme: "none".into(),
+            messages_attempted: 0,
+            messages_correct: 0,
+        };
+        assert_eq!(empty.loss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Reader commands and their air lengths.
+//!
+//! Only the command structure relevant to inventory and to Buzz's protocol
+//! triggers is modelled; payload field semantics beyond length are not needed
+//! by the evaluation.
+
+/// A reader → tag command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReaderCommand {
+    /// `Query`: starts an inventory round announcing the frame size exponent
+    /// `Q` (22 bits on the air).
+    Query {
+        /// Frame-size exponent: the frame has `2^q` slots.
+        q: u8,
+    },
+    /// `QueryRep`: advances to the next slot within a round (4 bits).
+    QueryRep,
+    /// `QueryAdjust`: starts a new round with an adjusted `Q` (9 bits).
+    QueryAdjust {
+        /// The new frame-size exponent.
+        q: u8,
+    },
+    /// `ACK`: acknowledges a tag's RN16, echoing it back (18 bits).
+    Ack,
+    /// Buzz trigger: a single broadcast command that starts one of Buzz's
+    /// phases (estimation, bucket, compressive sensing, or data).  Modelled at
+    /// the length of a `Query`.
+    BuzzTrigger,
+    /// Buzz stop: the reader simply drops its carrier; no bits are
+    /// transmitted, but tags need roughly one downlink bit time to notice.
+    BuzzStop,
+}
+
+impl ReaderCommand {
+    /// The command length in downlink bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        match self {
+            ReaderCommand::Query { .. } => 22,
+            ReaderCommand::QueryRep => 4,
+            ReaderCommand::QueryAdjust { .. } => 9,
+            ReaderCommand::Ack => 18,
+            ReaderCommand::BuzzTrigger => 22,
+            ReaderCommand::BuzzStop => 1,
+        }
+    }
+
+    /// The frame-size exponent carried by the command, if any.
+    #[must_use]
+    pub fn q(&self) -> Option<u8> {
+        match self {
+            ReaderCommand::Query { q } | ReaderCommand::QueryAdjust { q } => Some(*q),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_lengths_match_standard() {
+        assert_eq!(ReaderCommand::Query { q: 4 }.bits(), 22);
+        assert_eq!(ReaderCommand::QueryRep.bits(), 4);
+        assert_eq!(ReaderCommand::QueryAdjust { q: 5 }.bits(), 9);
+        assert_eq!(ReaderCommand::Ack.bits(), 18);
+    }
+
+    #[test]
+    fn buzz_commands_have_lengths() {
+        assert_eq!(ReaderCommand::BuzzTrigger.bits(), 22);
+        assert_eq!(ReaderCommand::BuzzStop.bits(), 1);
+    }
+
+    #[test]
+    fn q_extraction() {
+        assert_eq!(ReaderCommand::Query { q: 4 }.q(), Some(4));
+        assert_eq!(ReaderCommand::QueryAdjust { q: 7 }.q(), Some(7));
+        assert_eq!(ReaderCommand::Ack.q(), None);
+        assert_eq!(ReaderCommand::QueryRep.q(), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! The tag-side inventory state machine.
+//!
+//! A Gen-2 tag participating in an inventory round moves through a small set
+//! of states driven by reader commands and its own slot counter.  The paper's
+//! FSA baseline only needs the inventory portion (Ready → Arbitrate → Reply →
+//! Acknowledged), which is modelled here; access-state commands (Req_RN,
+//! Read, Write…) are outside the evaluation's scope.
+
+use backscatter_prng::{Rng64, Xoshiro256};
+
+use crate::commands::ReaderCommand;
+
+/// The inventory states of a Gen-2 tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InventoryState {
+    /// Energized but not yet participating in a round.
+    Ready,
+    /// Participating: counting down its slot counter.
+    Arbitrate,
+    /// Its slot has arrived: backscattering its RN16 and waiting for an ACK.
+    Reply,
+    /// Its RN16 was acknowledged: it has been identified this round.
+    Acknowledged,
+}
+
+/// A tag's inventory state machine.
+#[derive(Debug, Clone)]
+pub struct TagStateMachine {
+    state: InventoryState,
+    slot_counter: u32,
+    rng: Xoshiro256,
+    /// The RN16 the tag backscatters when its slot arrives.
+    rn16: u16,
+}
+
+impl TagStateMachine {
+    /// Creates a tag in the `Ready` state with a deterministic per-tag seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let rn16 = rng.next_u64() as u16;
+        Self {
+            state: InventoryState::Ready,
+            slot_counter: 0,
+            rng,
+            rn16,
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> InventoryState {
+        self.state
+    }
+
+    /// The tag's current RN16.
+    #[must_use]
+    pub fn rn16(&self) -> u16 {
+        self.rn16
+    }
+
+    /// The remaining slot count (meaningful in `Arbitrate`).
+    #[must_use]
+    pub fn slot_counter(&self) -> u32 {
+        self.slot_counter
+    }
+
+    /// Whether the tag backscatters its RN16 in the current slot.
+    #[must_use]
+    pub fn is_replying(&self) -> bool {
+        self.state == InventoryState::Reply
+    }
+
+    /// Processes a reader command, updating the state machine.
+    ///
+    /// `acked_rn16` carries the RN16 echoed by an `ACK` command so the tag can
+    /// check whether it is the one being acknowledged.
+    pub fn on_command(&mut self, command: ReaderCommand, acked_rn16: Option<u16>) {
+        match command {
+            ReaderCommand::Query { q } | ReaderCommand::QueryAdjust { q } => {
+                // A new round: tags that were already acknowledged stay out of
+                // it (single-round inventory, matching the identification
+                // experiment where each tag must be identified once).
+                if self.state == InventoryState::Acknowledged {
+                    return;
+                }
+                let frame = 1u64 << q.min(15);
+                self.slot_counter = self.rng.next_bounded(frame) as u32;
+                self.rn16 = self.rng.next_u64() as u16;
+                self.state = if self.slot_counter == 0 {
+                    InventoryState::Reply
+                } else {
+                    InventoryState::Arbitrate
+                };
+            }
+            ReaderCommand::QueryRep => {
+                match self.state {
+                    InventoryState::Arbitrate => {
+                        self.slot_counter = self.slot_counter.saturating_sub(1);
+                        if self.slot_counter == 0 {
+                            self.state = InventoryState::Reply;
+                        }
+                    }
+                    InventoryState::Reply => {
+                        // Our reply was not acknowledged (collision): return to
+                        // arbitration and wait for the next round.
+                        self.state = InventoryState::Ready;
+                    }
+                    _ => {}
+                }
+            }
+            ReaderCommand::Ack => {
+                if self.state == InventoryState::Reply && acked_rn16 == Some(self.rn16) {
+                    self.state = InventoryState::Acknowledged;
+                } else if self.state == InventoryState::Reply {
+                    // ACK for somebody else while we replied: collision lost.
+                    self.state = InventoryState::Ready;
+                }
+            }
+            ReaderCommand::BuzzTrigger | ReaderCommand::BuzzStop => {
+                // Buzz commands do not interact with the Gen-2 inventory FSM.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_ready() {
+        let tag = TagStateMachine::new(1);
+        assert_eq!(tag.state(), InventoryState::Ready);
+        assert!(!tag.is_replying());
+    }
+
+    #[test]
+    fn query_places_tag_in_round() {
+        let mut tag = TagStateMachine::new(2);
+        tag.on_command(ReaderCommand::Query { q: 4 }, None);
+        assert!(matches!(
+            tag.state(),
+            InventoryState::Arbitrate | InventoryState::Reply
+        ));
+        assert!(tag.slot_counter() < 16);
+    }
+
+    #[test]
+    fn queryrep_counts_down_to_reply() {
+        let mut tag = TagStateMachine::new(3);
+        tag.on_command(ReaderCommand::Query { q: 4 }, None);
+        let mut steps = 0;
+        while tag.state() == InventoryState::Arbitrate {
+            tag.on_command(ReaderCommand::QueryRep, None);
+            steps += 1;
+            assert!(steps <= 16, "tag never reached Reply");
+        }
+        assert_eq!(tag.state(), InventoryState::Reply);
+    }
+
+    #[test]
+    fn ack_with_matching_rn16_identifies_tag() {
+        let mut tag = TagStateMachine::new(4);
+        tag.on_command(ReaderCommand::Query { q: 0 }, None);
+        assert_eq!(tag.state(), InventoryState::Reply);
+        let rn = tag.rn16();
+        tag.on_command(ReaderCommand::Ack, Some(rn));
+        assert_eq!(tag.state(), InventoryState::Acknowledged);
+        // A new Query must not re-enlist an acknowledged tag.
+        tag.on_command(ReaderCommand::Query { q: 4 }, None);
+        assert_eq!(tag.state(), InventoryState::Acknowledged);
+    }
+
+    #[test]
+    fn ack_with_wrong_rn16_resets_tag() {
+        let mut tag = TagStateMachine::new(5);
+        tag.on_command(ReaderCommand::Query { q: 0 }, None);
+        let rn = tag.rn16();
+        tag.on_command(ReaderCommand::Ack, Some(rn.wrapping_add(1)));
+        assert_eq!(tag.state(), InventoryState::Ready);
+    }
+
+    #[test]
+    fn unacknowledged_reply_returns_to_ready_on_queryrep() {
+        let mut tag = TagStateMachine::new(6);
+        tag.on_command(ReaderCommand::Query { q: 0 }, None);
+        assert_eq!(tag.state(), InventoryState::Reply);
+        tag.on_command(ReaderCommand::QueryRep, None);
+        assert_eq!(tag.state(), InventoryState::Ready);
+    }
+
+    #[test]
+    fn buzz_commands_do_not_disturb_fsm() {
+        let mut tag = TagStateMachine::new(7);
+        tag.on_command(ReaderCommand::Query { q: 2 }, None);
+        let before = tag.state();
+        tag.on_command(ReaderCommand::BuzzTrigger, None);
+        tag.on_command(ReaderCommand::BuzzStop, None);
+        assert_eq!(tag.state(), before);
+    }
+
+    #[test]
+    fn new_round_redraws_rn16() {
+        let mut tag = TagStateMachine::new(8);
+        tag.on_command(ReaderCommand::Query { q: 4 }, None);
+        let first = tag.rn16();
+        tag.on_command(ReaderCommand::QueryAdjust { q: 4 }, None);
+        let second = tag.rn16();
+        // Not guaranteed to differ for every seed, but for this fixed seed the
+        // redraw is observable; the important property is the redraw happens.
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,156 @@
+//! Link timing: converting protocol events into air time.
+//!
+//! Fig. 14 of the paper reports identification *time* in milliseconds, so the
+//! FSA baseline and Buzz's identification protocol both need a consistent
+//! accounting of how long each command, reply, and turnaround gap occupies the
+//! channel.  The defaults below follow the paper's setup: the reader transmits
+//! queries at 27 kbps, tags backscatter at 80 kbps, and the Gen-2 turnaround
+//! times T1/T2 are on the order of one uplink symbol each.
+
+use crate::{Gen2Error, Gen2Result};
+
+/// Air-interface timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTiming {
+    /// Reader → tag (downlink) bit rate in bits/second.
+    pub downlink_bps: f64,
+    /// Tag → reader (uplink, backscatter) bit rate in bits/second.
+    pub uplink_bps: f64,
+    /// Gap between a reader command and the tag reply (T1), seconds.
+    pub t1_s: f64,
+    /// Gap between a tag reply and the next reader command (T2), seconds.
+    pub t2_s: f64,
+    /// Uplink preamble length in bits (prepended to every tag reply).
+    pub uplink_preamble_bits: usize,
+}
+
+impl LinkTiming {
+    /// The timing used throughout the paper's evaluation: 27 kbps downlink,
+    /// 80 kbps uplink, one-symbol turnarounds, 6-bit uplink preamble.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            downlink_bps: 27_000.0,
+            uplink_bps: 80_000.0,
+            t1_s: 62.5e-6,
+            t2_s: 62.5e-6,
+            uplink_preamble_bits: 6,
+        }
+    }
+
+    /// Validates the timing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Gen2Error::InvalidParameter`] for non-positive rates or
+    /// negative gaps.
+    pub fn validate(&self) -> Gen2Result<()> {
+        if !(self.downlink_bps > 0.0 && self.downlink_bps.is_finite()) {
+            return Err(Gen2Error::InvalidParameter("downlink rate must be positive"));
+        }
+        if !(self.uplink_bps > 0.0 && self.uplink_bps.is_finite()) {
+            return Err(Gen2Error::InvalidParameter("uplink rate must be positive"));
+        }
+        if self.t1_s < 0.0 || self.t2_s < 0.0 {
+            return Err(Gen2Error::InvalidParameter("turnaround gaps must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Duration of a downlink transmission of `bits` bits, in seconds.
+    #[must_use]
+    pub fn downlink_s(&self, bits: usize) -> f64 {
+        bits as f64 / self.downlink_bps
+    }
+
+    /// Duration of an uplink (tag) transmission of `bits` payload bits
+    /// including the preamble, in seconds.
+    #[must_use]
+    pub fn uplink_s(&self, bits: usize) -> f64 {
+        (bits + self.uplink_preamble_bits) as f64 / self.uplink_bps
+    }
+
+    /// Duration of one uplink symbol (one bit period) in seconds — the length
+    /// of a Buzz identification time slot, which carries a single bit.
+    #[must_use]
+    pub fn uplink_symbol_s(&self) -> f64 {
+        1.0 / self.uplink_bps
+    }
+
+    /// A complete command/reply exchange: downlink command, T1, uplink reply,
+    /// T2.  Either part may be zero bits (e.g. a slot with no reply).
+    #[must_use]
+    pub fn exchange_s(&self, downlink_bits: usize, uplink_bits: usize) -> f64 {
+        let mut total = 0.0;
+        if downlink_bits > 0 {
+            total += self.downlink_s(downlink_bits);
+        }
+        total += self.t1_s;
+        if uplink_bits > 0 {
+            total += self.uplink_s(uplink_bits);
+        }
+        total += self.t2_s;
+        total
+    }
+}
+
+impl Default for LinkTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Converts seconds to milliseconds (the unit the paper's figures use).
+#[must_use]
+pub fn s_to_ms(seconds: f64) -> f64 {
+    seconds * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(LinkTiming::paper_default().validate().is_ok());
+        assert_eq!(LinkTiming::default(), LinkTiming::paper_default());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut t = LinkTiming::paper_default();
+        t.downlink_bps = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = LinkTiming::paper_default();
+        t.uplink_bps = f64::NAN;
+        assert!(t.validate().is_err());
+        let mut t = LinkTiming::paper_default();
+        t.t1_s = -1.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn durations_scale_with_bits() {
+        let t = LinkTiming::paper_default();
+        assert!((t.downlink_s(27) - 0.001).abs() < 1e-12);
+        // 16-bit RN16 + 6-bit preamble at 80 kbps = 275 µs.
+        assert!((t.uplink_s(16) - 275e-6).abs() < 1e-9);
+        assert!((t.uplink_symbol_s() - 12.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_includes_gaps() {
+        let t = LinkTiming::paper_default();
+        let full = t.exchange_s(22, 16);
+        let expected = t.downlink_s(22) + t.t1_s + t.uplink_s(16) + t.t2_s;
+        assert!((full - expected).abs() < 1e-12);
+        // An empty slot still pays the turnaround gaps.
+        let empty = t.exchange_s(4, 0);
+        assert!((empty - (t.downlink_s(4) + t.t1_s + t.t2_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        assert!((s_to_ms(0.0275) - 27.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Additive white Gaussian noise.
+//!
+//! The simulator injects circularly-symmetric complex Gaussian noise into the
+//! reader's received samples.  Noise power is specified either directly or via
+//! a target SNR relative to a signal power.  Gaussian variates are produced by
+//! the Box–Muller transform over the deterministic [`backscatter_prng`]
+//! generators so that experiment runs are exactly reproducible.
+
+use backscatter_prng::{Rng64, Xoshiro256};
+
+use crate::complex::Complex;
+use crate::{PhyError, PhyResult};
+
+/// A source of circularly-symmetric complex AWGN with configurable power.
+#[derive(Debug, Clone)]
+pub struct AwgnSource {
+    rng: Xoshiro256,
+    /// Total noise power `E[|n|^2]` (split evenly between I and Q).
+    noise_power: f64,
+    /// A spare Gaussian variate from the Box–Muller pair, if any.
+    spare: Option<f64>,
+}
+
+impl AwgnSource {
+    /// Creates a noise source with total complex noise power `noise_power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidParameter`] if `noise_power` is negative or
+    /// not finite.
+    pub fn new(seed: u64, noise_power: f64) -> PhyResult<Self> {
+        if !(noise_power.is_finite() && noise_power >= 0.0) {
+            return Err(PhyError::InvalidParameter(
+                "noise power must be finite and non-negative",
+            ));
+        }
+        Ok(Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            noise_power,
+            spare: None,
+        })
+    }
+
+    /// Creates a noise source whose power achieves `snr_db` for a signal of
+    /// power `signal_power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidParameter`] if `signal_power` is not
+    /// positive and finite or `snr_db` is not finite.
+    pub fn for_snr(seed: u64, signal_power: f64, snr_db: f64) -> PhyResult<Self> {
+        if !(signal_power.is_finite() && signal_power > 0.0) {
+            return Err(PhyError::InvalidParameter(
+                "signal power must be finite and positive",
+            ));
+        }
+        if !snr_db.is_finite() {
+            return Err(PhyError::InvalidParameter("SNR must be finite"));
+        }
+        let snr_linear = 10f64.powf(snr_db / 10.0);
+        Self::new(seed, signal_power / snr_linear)
+    }
+
+    /// The configured total noise power.
+    #[must_use]
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// Draws one standard-normal variate via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let mut u1 = self.rng.next_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one complex noise sample with total power `noise_power`.
+    pub fn sample(&mut self) -> Complex {
+        // Each quadrature carries half the total power.
+        let sigma = (self.noise_power / 2.0).sqrt();
+        Complex::new(
+            self.standard_normal() * sigma,
+            self.standard_normal() * sigma,
+        )
+    }
+
+    /// Adds noise in place to a slice of received samples.
+    pub fn add_to(&mut self, samples: &mut [Complex]) {
+        for s in samples {
+            *s += self.sample();
+        }
+    }
+
+    /// Returns a noisy copy of `samples`.
+    #[must_use]
+    pub fn corrupt(&mut self, samples: &[Complex]) -> Vec<Complex> {
+        samples.iter().map(|&s| s + self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_power() {
+        assert!(AwgnSource::new(1, -1.0).is_err());
+        assert!(AwgnSource::new(1, f64::NAN).is_err());
+        assert!(AwgnSource::for_snr(1, 0.0, 10.0).is_err());
+        assert!(AwgnSource::for_snr(1, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_power_noise_is_silent() {
+        let mut n = AwgnSource::new(3, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(n.sample(), Complex::ZERO);
+        }
+    }
+
+    #[test]
+    fn empirical_power_matches_configuration() {
+        let target = 0.25;
+        let mut n = AwgnSource::new(42, target).unwrap();
+        let count = 200_000;
+        let measured: f64 =
+            (0..count).map(|_| n.sample().norm_sqr()).sum::<f64>() / count as f64;
+        assert!(
+            (measured - target).abs() / target < 0.05,
+            "measured = {measured}"
+        );
+    }
+
+    #[test]
+    fn empirical_mean_is_zero() {
+        let mut n = AwgnSource::new(7, 1.0).unwrap();
+        let count = 100_000;
+        let sum: Complex = (0..count).map(|_| n.sample()).sum();
+        let mean = sum / count as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn snr_constructor_sets_power() {
+        // 10 dB SNR with unit signal power => noise power 0.1.
+        let n = AwgnSource::for_snr(1, 1.0, 10.0).unwrap();
+        assert!((n.noise_power() - 0.1).abs() < 1e-12);
+        // 0 dB => equal powers.
+        let n = AwgnSource::for_snr(1, 2.0, 0.0).unwrap();
+        assert!((n.noise_power() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_preserves_length_and_is_deterministic() {
+        let clean = vec![Complex::ONE; 64];
+        let mut a = AwgnSource::new(9, 0.5).unwrap();
+        let mut b = AwgnSource::new(9, 0.5).unwrap();
+        let na = a.corrupt(&clean);
+        let nb = b.corrupt(&clean);
+        assert_eq!(na.len(), 64);
+        assert_eq!(na, nb);
+        assert_ne!(na, clean);
+    }
+}

@@ -1,0 +1,212 @@
+//! Seed derivation shared by tags and the reader.
+//!
+//! The protocol requires three logically separate random streams per node:
+//!
+//! 1. the *identification* stream, seeded by the node's (temporary) id, used
+//!    for the compressive-sensing sensing-matrix columns,
+//! 2. the *cardinality estimation* stream, also derived from the node id but
+//!    domain-separated so it does not alias the identification stream, and
+//! 3. the *data phase* stream, seeded by the node's temporary id **and** the
+//!    slot index (§6(a) of the paper), which lets the reader regenerate any
+//!    row of the participation matrix `D` without replaying earlier slots.
+
+use crate::{BiasedBits, Rng64, SplitMix64, Xoshiro256};
+
+/// Domain-separation constants so the three streams never alias.
+const DOMAIN_IDENTIFICATION: u64 = 0x4944_454e_5449_4659; // "IDENTIFY"
+const DOMAIN_ESTIMATION: u64 = 0x4553_5449_4d41_5445; // "ESTIMATE"
+const DOMAIN_DATA: u64 = 0x4441_5441_5048_4153; // "DATAPHAS"
+
+/// A node's seed material: its identifier in whichever id space is in use.
+///
+/// During identification this is the *temporary* id drawn from the
+/// `a · c · K`-sized space; in periodic networks it can simply be the node's
+/// index in the static schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeSeed(pub u64);
+
+impl NodeSeed {
+    /// Generator for the identification-phase sensing column of this node.
+    #[must_use]
+    pub fn identification_rng(self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(SplitMix64::mix(DOMAIN_IDENTIFICATION, self.0))
+    }
+
+    /// Generator for the cardinality-estimation phase of this node.
+    #[must_use]
+    pub fn estimation_rng(self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(SplitMix64::mix(DOMAIN_ESTIMATION, self.0))
+    }
+
+    /// Generator for the data-phase participation decision of this node in a
+    /// particular `slot`.
+    ///
+    /// Seeding per `(id, slot)` pair — rather than one stream consumed slot by
+    /// slot — lets the reader rebuild any single row of `D` in O(K) work,
+    /// which the belief-propagation decoder exploits when new collisions
+    /// arrive.
+    #[must_use]
+    pub fn data_slot_rng(self, slot: u64) -> Xoshiro256 {
+        let mixed = SplitMix64::mix(DOMAIN_DATA, SplitMix64::mix(self.0, slot));
+        Xoshiro256::seed_from_u64(mixed)
+    }
+
+    /// Returns whether this node participates (reflects its message) in the
+    /// given data-phase `slot`, given participation probability `p`.
+    ///
+    /// Both the tag model and the reader's decoder call this same function, so
+    /// the participation matrix is identical on both sides by construction.
+    #[must_use]
+    pub fn participates_in_slot(self, slot: u64, p: f64) -> bool {
+        let mut rng = self.data_slot_rng(slot);
+        rng.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns whether this node transmits a "1" in the given slot of the
+    /// *identification* phase's compressive-sensing stage (its column of the
+    /// sensing matrix `A`), with per-slot probability `p`.
+    ///
+    /// This stream is domain-separated from [`NodeSeed::participates_in_slot`]
+    /// so that the sensing matrix `A` and the data-phase participation matrix
+    /// `D` are statistically independent even though both are keyed by the
+    /// same temporary id.
+    #[must_use]
+    pub fn sensing_in_slot(self, slot: u64, p: f64) -> bool {
+        let mixed = SplitMix64::mix(DOMAIN_IDENTIFICATION, SplitMix64::mix(self.0, slot));
+        let mut rng = Xoshiro256::seed_from_u64(mixed);
+        rng.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// A factory producing per-slot biased bit decisions for a node.
+///
+/// This is a thin convenience wrapper over [`NodeSeed`] used by the simulator
+/// tag model so that the participation probability is stored alongside the
+/// seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotSeeded {
+    seed: NodeSeed,
+    probability: f64,
+}
+
+impl SlotSeeded {
+    /// Creates a per-slot decision source for `seed` with participation
+    /// probability `probability` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn new(seed: NodeSeed, probability: f64) -> Self {
+        Self {
+            seed,
+            probability: probability.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The node seed this source is bound to.
+    #[must_use]
+    pub fn seed(&self) -> NodeSeed {
+        self.seed
+    }
+
+    /// The participation probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Updates the participation probability (e.g. after the reader broadcasts
+    /// a refined estimate of `K`).
+    pub fn set_probability(&mut self, probability: f64) {
+        self.probability = probability.clamp(0.0, 1.0);
+    }
+
+    /// Whether the node transmits in `slot`.
+    #[must_use]
+    pub fn participates(&self, slot: u64) -> bool {
+        self.seed.participates_in_slot(slot, self.probability)
+    }
+
+    /// Returns a [`BiasedBits`] stream for the estimation phase of this node,
+    /// with the given per-slot transmit probability.
+    #[must_use]
+    pub fn estimation_bits(&self, probability: f64) -> BiasedBits {
+        BiasedBits::new(self.seed.estimation_rng(), probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_domain_separated() {
+        let seed = NodeSeed(42);
+        let mut id_rng = seed.identification_rng();
+        let mut est_rng = seed.estimation_rng();
+        let mut data_rng = seed.data_slot_rng(0);
+        let a: Vec<u64> = (0..8).map(|_| id_rng.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| est_rng.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| data_rng.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn data_slot_rng_differs_across_slots() {
+        let seed = NodeSeed(7);
+        let mut s0 = seed.data_slot_rng(0);
+        let mut s1 = seed.data_slot_rng(1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn participation_is_reproducible() {
+        let seed = NodeSeed(1234);
+        for slot in 0..100 {
+            assert_eq!(
+                seed.participates_in_slot(slot, 0.3),
+                seed.participates_in_slot(slot, 0.3)
+            );
+        }
+    }
+
+    #[test]
+    fn participation_rate_matches_probability() {
+        let seed = NodeSeed(9);
+        let p = 0.2;
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&s| seed.participates_in_slot(s, p)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - p).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn slot_seeded_probability_clamped() {
+        let s = SlotSeeded::new(NodeSeed(1), 2.0);
+        assert_eq!(s.probability(), 1.0);
+        assert!(s.participates(0));
+    }
+
+    #[test]
+    fn sensing_and_data_streams_are_independent() {
+        // With p = 0.5 over 256 slots, the two streams agreeing everywhere is
+        // essentially impossible unless they alias.
+        let seed = NodeSeed(55);
+        let same = (0..256u64)
+            .all(|s| seed.sensing_in_slot(s, 0.5) == seed.participates_in_slot(s, 0.5));
+        assert!(!same);
+        // And the sensing stream is itself reproducible.
+        for s in 0..64u64 {
+            assert_eq!(seed.sensing_in_slot(s, 0.3), seed.sensing_in_slot(s, 0.3));
+        }
+    }
+
+    #[test]
+    fn different_nodes_make_different_decisions() {
+        // With p = 0.5 over 256 slots, two nodes agreeing on every slot is
+        // essentially impossible (probability 2^-256).
+        let a = SlotSeeded::new(NodeSeed(100), 0.5);
+        let b = SlotSeeded::new(NodeSeed(101), 0.5);
+        let same = (0..256).all(|s| a.participates(s) == b.participates(s));
+        assert!(!same);
+    }
+}

@@ -1,0 +1,324 @@
+//! Tag energy model.
+//!
+//! Fig. 13 of the paper compares the per-query energy drain of Buzz, TDMA and
+//! CDMA by charging a large capacitor (`C = 0.1 F`) to a starting voltage
+//! `V0 ∈ {3, 4, 5}` V, replying to 8800 queries, and measuring
+//! `E = ½·C·(V0² − Vf²)`.
+//!
+//! The model here charges a tag for three things during a reply:
+//!
+//! 1. a fixed wake-up/command-decode cost per query,
+//! 2. static active power while the radio front end and MCU are engaged in
+//!    the reply (proportional to the time spent transmitting), and
+//! 3. impedance-switching cost per transition of the antenna state (this is
+//!    what makes Miller-4 and CDMA chipping expensive).
+//!
+//! All three scale with the square of the supply voltage, reflecting CMOS
+//! dynamic power, which reproduces the upward trend across `V0` in Fig. 13.
+
+use crate::{SimError, SimResult};
+
+/// Per-tag energy cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Wake-up + command decode energy per query at the reference voltage, J.
+    pub wakeup_j: f64,
+    /// Static power while actively replying at the reference voltage, W.
+    pub active_power_w: f64,
+    /// Energy per antenna impedance transition at the reference voltage, J.
+    pub per_transition_j: f64,
+    /// Reference supply voltage for the constants above, V.
+    pub reference_voltage_v: f64,
+}
+
+impl EnergyModel {
+    /// Constants loosely calibrated to the Moo (MSP430-class MCU + backscatter
+    /// front end) so that a TDMA reply to one query lands in the µJ range of
+    /// Fig. 13.
+    #[must_use]
+    pub fn moo() -> Self {
+        Self {
+            wakeup_j: 0.4e-6,
+            active_power_w: 1.5e-3,
+            per_transition_j: 1.2e-9,
+            reference_voltage_v: 3.0,
+        }
+    }
+
+    /// Validates the constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for negative or non-finite
+    /// values.
+    pub fn validate(&self) -> SimResult<()> {
+        let all = [
+            self.wakeup_j,
+            self.active_power_w,
+            self.per_transition_j,
+            self.reference_voltage_v,
+        ];
+        if all.iter().any(|v| !v.is_finite() || *v < 0.0) || self.reference_voltage_v == 0.0 {
+            return Err(SimError::InvalidParameter(
+                "energy model constants must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Voltage scaling factor (`(V / Vref)²`).
+    #[must_use]
+    fn voltage_scale(&self, supply_v: f64) -> f64 {
+        let r = supply_v / self.reference_voltage_v;
+        r * r
+    }
+
+    /// The energy one reply costs, given what the tag transmitted.
+    #[must_use]
+    pub fn reply_energy_j(&self, profile: &TransmissionProfile, supply_v: f64) -> f64 {
+        let scale = self.voltage_scale(supply_v);
+        let raw = self.wakeup_j
+            + self.active_power_w * profile.active_time_s
+            + self.per_transition_j * profile.transitions as f64;
+        raw * scale
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::moo()
+    }
+}
+
+/// What a tag actually transmitted while answering one query, as seen by the
+/// energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionProfile {
+    /// Time the tag spent actively replying (radio + MCU engaged), seconds.
+    pub active_time_s: f64,
+    /// Number of antenna impedance transitions performed.
+    pub transitions: u64,
+}
+
+impl TransmissionProfile {
+    /// A profile for transmitting `bits` bits at `bit_rate_bps` with a line
+    /// code that performs `transitions_per_bit` impedance transitions per bit,
+    /// repeated `repeats` times (e.g. the number of collision slots a Buzz tag
+    /// participates in).
+    #[must_use]
+    pub fn for_bits(
+        bits: usize,
+        bit_rate_bps: f64,
+        transitions_per_bit: f64,
+        repeats: usize,
+    ) -> Self {
+        let per_message_s = if bit_rate_bps > 0.0 {
+            bits as f64 / bit_rate_bps
+        } else {
+            0.0
+        };
+        Self {
+            active_time_s: per_message_s * repeats as f64,
+            transitions: (bits as f64 * transitions_per_bit * repeats as f64).round() as u64,
+        }
+    }
+
+    /// Merges two profiles (e.g. identification phase + data phase).
+    #[must_use]
+    pub fn combined(&self, other: &TransmissionProfile) -> Self {
+        Self {
+            active_time_s: self.active_time_s + other.active_time_s,
+            transitions: self.transitions + other.transitions,
+        }
+    }
+}
+
+/// The storage capacitor of a computational RFID.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagBattery {
+    /// Capacitance in farads (the paper attaches a 0.1 F capacitor).
+    pub capacitance_f: f64,
+    /// Current voltage across the capacitor.
+    pub voltage_v: f64,
+    /// Total energy drained so far, J.
+    pub consumed_j: f64,
+}
+
+impl TagBattery {
+    /// Creates a battery charged to `voltage_v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive capacitance or
+    /// negative voltage.
+    pub fn new(capacitance_f: f64, voltage_v: f64) -> SimResult<Self> {
+        if !(capacitance_f > 0.0 && capacitance_f.is_finite()) {
+            return Err(SimError::InvalidParameter("capacitance must be positive"));
+        }
+        if !(voltage_v >= 0.0 && voltage_v.is_finite()) {
+            return Err(SimError::InvalidParameter("voltage must be non-negative"));
+        }
+        Ok(Self {
+            capacitance_f,
+            voltage_v,
+            consumed_j: 0.0,
+        })
+    }
+
+    /// The paper's measurement rig: a 0.1 F capacitor at the given starting
+    /// voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TagBattery::new`] errors.
+    pub fn paper_rig(starting_voltage_v: f64) -> SimResult<Self> {
+        Self::new(0.1, starting_voltage_v)
+    }
+
+    /// Stored energy, `½·C·V²`, in joules.
+    #[must_use]
+    pub fn stored_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
+    }
+
+    /// Drains `energy_j` joules, clamping at empty.  Returns the energy
+    /// actually drained (less than requested only if the store ran dry).
+    pub fn drain_j(&mut self, energy_j: f64) -> f64 {
+        let drained = energy_j.max(0.0).min(self.stored_j());
+        let remaining = self.stored_j() - drained;
+        self.voltage_v = (2.0 * remaining / self.capacitance_f).sqrt();
+        self.consumed_j += drained;
+        drained
+    }
+
+    /// Harvests `energy_j` joules from the reader's carrier (charging the
+    /// capacitor), capped at `max_voltage_v`.
+    pub fn harvest_j(&mut self, energy_j: f64, max_voltage_v: f64) {
+        let stored = self.stored_j() + energy_j.max(0.0);
+        self.voltage_v = (2.0 * stored / self.capacitance_f).sqrt().min(max_voltage_v);
+    }
+
+    /// Whether the capacitor has fallen below the MCU's brown-out voltage
+    /// (1.8 V for the MSP430) — the "tag runs out of power" case discussed in
+    /// §6(d) of the paper.
+    #[must_use]
+    pub fn is_browned_out(&self) -> bool {
+        self.voltage_v < 1.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_validation() {
+        assert!(EnergyModel::moo().validate().is_ok());
+        let mut m = EnergyModel::moo();
+        m.active_power_w = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = EnergyModel::moo();
+        m.reference_voltage_v = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn reply_energy_scales_with_voltage() {
+        let model = EnergyModel::moo();
+        let profile = TransmissionProfile::for_bits(37, 80_000.0, 1.5, 1);
+        let e3 = model.reply_energy_j(&profile, 3.0);
+        let e5 = model.reply_energy_j(&profile, 5.0);
+        assert!(e5 > e3);
+        assert!((e5 / e3 - 25.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_transitions_cost_more() {
+        let model = EnergyModel::moo();
+        // Same bits, FM0-style vs Miller-4-style transition counts.
+        let fm0 = TransmissionProfile::for_bits(37, 80_000.0, 1.5, 1);
+        let miller4 = TransmissionProfile::for_bits(37, 80_000.0, 8.0, 1);
+        assert!(model.reply_energy_j(&miller4, 3.0) > model.reply_energy_j(&fm0, 3.0));
+    }
+
+    #[test]
+    fn longer_transmissions_cost_more() {
+        let model = EnergyModel::moo();
+        let once = TransmissionProfile::for_bits(37, 80_000.0, 1.5, 1);
+        let many = TransmissionProfile::for_bits(37, 80_000.0, 1.5, 16);
+        assert!(model.reply_energy_j(&many, 3.0) > model.reply_energy_j(&once, 3.0));
+    }
+
+    #[test]
+    fn tdma_reply_energy_is_in_microjoule_range() {
+        // Sanity check against Fig. 13's axis (a few to a few tens of µJ).
+        let model = EnergyModel::moo();
+        let miller4 = TransmissionProfile::for_bits(37, 80_000.0, 8.0, 1);
+        let e = model.reply_energy_j(&miller4, 3.0);
+        assert!(e > 0.1e-6 && e < 50e-6, "e = {e}");
+    }
+
+    #[test]
+    fn combined_profiles_add() {
+        let a = TransmissionProfile::for_bits(10, 1000.0, 2.0, 1);
+        let b = TransmissionProfile::for_bits(20, 1000.0, 2.0, 1);
+        let c = a.combined(&b);
+        assert!((c.active_time_s - 0.03).abs() < 1e-12);
+        assert_eq!(c.transitions, 60);
+    }
+
+    #[test]
+    fn zero_bit_rate_profile_is_empty_time() {
+        let p = TransmissionProfile::for_bits(10, 0.0, 2.0, 1);
+        assert_eq!(p.active_time_s, 0.0);
+    }
+
+    #[test]
+    fn battery_validation_and_storage() {
+        assert!(TagBattery::new(0.0, 3.0).is_err());
+        assert!(TagBattery::new(0.1, -1.0).is_err());
+        let b = TagBattery::paper_rig(3.0).unwrap();
+        assert!((b.stored_j() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_reduces_voltage_and_tracks_consumption() {
+        let mut b = TagBattery::paper_rig(3.0).unwrap();
+        let before = b.stored_j();
+        let drained = b.drain_j(0.1);
+        assert!((drained - 0.1).abs() < 1e-12);
+        assert!((before - b.stored_j() - 0.1).abs() < 1e-9);
+        assert!(b.voltage_v < 3.0);
+        assert!((b.consumed_j - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut b = TagBattery::new(1e-6, 2.0).unwrap();
+        let drained = b.drain_j(1.0);
+        assert!(drained < 1.0);
+        assert!(b.voltage_v < 1e-6);
+        assert!(b.is_browned_out());
+    }
+
+    #[test]
+    fn harvest_recharges_up_to_cap() {
+        let mut b = TagBattery::new(0.1, 2.0).unwrap();
+        b.harvest_j(10.0, 3.0);
+        assert!((b.voltage_v - 3.0).abs() < 1e-12);
+        assert!(!b.is_browned_out());
+    }
+
+    #[test]
+    fn paper_measurement_formula_matches_consumed_energy() {
+        // E = ½C(V0² − Vf²) must equal the sum of drained energies.
+        let mut b = TagBattery::paper_rig(4.0).unwrap();
+        let v0 = b.voltage_v;
+        let mut total = 0.0;
+        for _ in 0..100 {
+            total += b.drain_j(5e-6);
+        }
+        let measured = 0.5 * b.capacitance_f * (v0 * v0 - b.voltage_v * b.voltage_v);
+        assert!((measured - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Reader/tag geometry.
+//!
+//! The paper's setup (§7): tags sit on a movable plastic cart on a
+//! 1.5 m × 3 m table; the reader antenna is on the same table; tag–reader
+//! distances range from 0.5 to 6 feet (0.15–1.8 m), bounded by the Moo's
+//! typical 2-foot operating range.  Fig. 12 worsens every tag's channel by
+//! moving the cart progressively farther from the reader.
+
+use backscatter_prng::{Rng64, Xoshiro256};
+
+use crate::{SimError, SimResult};
+
+/// A position on the table plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Position {
+    /// X coordinate (meters).
+    pub x: f64,
+    /// Y coordinate (meters).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin (where the reader antenna sits by convention).
+    #[must_use]
+    pub fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to another position, in meters.
+    #[must_use]
+    pub fn distance_to(&self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Translates the position by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Self {
+        Self {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+/// A placement of a reader and a set of tags on the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TablePlacement {
+    /// Reader antenna position.
+    pub reader: Position,
+    /// Tag positions, one per tag.
+    pub tags: Vec<Position>,
+}
+
+impl TablePlacement {
+    /// Distances from each tag to the reader, in meters (the inputs to the
+    /// path-loss model).
+    #[must_use]
+    pub fn tag_distances_m(&self) -> Vec<f64> {
+        self.tags
+            .iter()
+            .map(|t| t.distance_to(self.reader))
+            .collect()
+    }
+
+    /// Moves the whole cart (every tag) by `(dx, dy)` — the Fig. 12 sweep.
+    #[must_use]
+    pub fn cart_moved(&self, dx: f64, dy: f64) -> Self {
+        Self {
+            reader: self.reader,
+            tags: self.tags.iter().map(|t| t.translated(dx, dy)).collect(),
+        }
+    }
+
+    /// The minimum and maximum tag–reader distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when there are no tags.
+    pub fn distance_range_m(&self) -> SimResult<(f64, f64)> {
+        let d = self.tag_distances_m();
+        if d.is_empty() {
+            return Err(SimError::InvalidParameter("placement has no tags"));
+        }
+        let min = d.iter().copied().fold(f64::MAX, f64::min);
+        let max = d.iter().copied().fold(f64::MIN, f64::max);
+        Ok((min, max))
+    }
+}
+
+/// Conversion constant: one foot in meters.
+pub const FOOT_M: f64 = 0.3048;
+
+/// Lays out `k` tags on a cart whose near edge is `cart_distance_m` from the
+/// reader, scattering them over a 0.4 m × 0.6 m cart surface.
+///
+/// The layout is deterministic for a given `seed`, so an "experiment location"
+/// in the reproduction is identified by `(seed, cart_distance_m)` just as a
+/// location in the paper is a particular physical placement.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for zero tags or a non-positive
+/// distance.
+pub fn cart_layout(k: usize, cart_distance_m: f64, seed: u64) -> SimResult<TablePlacement> {
+    if k == 0 {
+        return Err(SimError::InvalidParameter("need at least one tag"));
+    }
+    if !(cart_distance_m > 0.0 && cart_distance_m.is_finite()) {
+        return Err(SimError::InvalidParameter(
+            "cart distance must be positive and finite",
+        ));
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let tags = (0..k)
+        .map(|_| {
+            // Cart surface: 0.4 m deep (away from reader) × 0.6 m wide.
+            let depth = rng.next_f64() * 0.4;
+            let width = (rng.next_f64() - 0.5) * 0.6;
+            Position::new(cart_distance_m + depth, width)
+        })
+        .collect();
+    Ok(TablePlacement {
+        reader: Position::origin(),
+        tags,
+    })
+}
+
+/// The paper's default cart position: near edge at 0.5 feet from the reader,
+/// within the Moo's 2-foot typical range.
+///
+/// # Errors
+///
+/// Propagates [`cart_layout`] errors.
+pub fn paper_default_layout(k: usize, seed: u64) -> SimResult<TablePlacement> {
+    cart_layout(k, 0.5 * FOOT_M, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance_to(a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cart_layout_validates_inputs() {
+        assert!(cart_layout(0, 1.0, 1).is_err());
+        assert!(cart_layout(4, 0.0, 1).is_err());
+        assert!(cart_layout(4, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn cart_layout_is_deterministic_and_bounded() {
+        let a = cart_layout(8, 0.3, 7).unwrap();
+        let b = cart_layout(8, 0.3, 7).unwrap();
+        assert_eq!(a, b);
+        let (min, max) = a.distance_range_m().unwrap();
+        assert!(min >= 0.3 - 0.3 - 1e-9); // width offset can reduce distance slightly
+        assert!(min > 0.0);
+        assert!(max < 0.3 + 0.8);
+        assert_eq!(a.tags.len(), 8);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_layouts() {
+        let a = cart_layout(8, 0.3, 1).unwrap();
+        let b = cart_layout(8, 0.3, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn moving_the_cart_increases_distances() {
+        let near = paper_default_layout(4, 3).unwrap();
+        let far = near.cart_moved(1.0, 0.0);
+        let near_d = near.tag_distances_m();
+        let far_d = far.tag_distances_m();
+        for (n, f) in near_d.iter().zip(&far_d) {
+            assert!(f > n);
+        }
+    }
+
+    #[test]
+    fn distance_range_requires_tags() {
+        let empty = TablePlacement {
+            reader: Position::origin(),
+            tags: vec![],
+        };
+        assert!(empty.distance_range_m().is_err());
+    }
+
+    #[test]
+    fn paper_default_is_within_moo_range() {
+        let layout = paper_default_layout(16, 11).unwrap();
+        let (_, max) = layout.distance_range_m().unwrap();
+        // Well within the 6-foot table bound.
+        assert!(max < 6.0 * FOOT_M);
+    }
+}

@@ -1,0 +1,392 @@
+//! The shared air interface between the tags and the reader.
+//!
+//! A [`Medium`] owns the per-tag channel coefficients, the carrier-leakage
+//! baseline, and the AWGN source, and turns "which tags reflected a 1 in this
+//! slot" into the complex symbol the reader receives.  This is the single
+//! point through which every protocol (Buzz, TDMA, CDMA, FSA) touches the
+//! physical layer, so all schemes experience identical channels and noise for
+//! a given scenario — mirroring how the paper runs the compared schemes
+//! back-to-back without moving the tags.
+
+use backscatter_phy::channel::Channel;
+use backscatter_phy::complex::Complex;
+use backscatter_phy::modulation::CarrierLeakage;
+use backscatter_phy::noise::AwgnSource;
+use backscatter_phy::signal::{PowerDetector, SlotObservation};
+
+use crate::{SimError, SimResult};
+
+/// Configuration of a [`Medium`].
+#[derive(Debug, Clone, Copy)]
+pub struct MediumConfig {
+    /// Total AWGN power per received symbol.
+    pub noise_power: f64,
+    /// Number of independent noise looks averaged for an occupancy (power)
+    /// decision.  The reader integrates over a whole slot (many samples per
+    /// bit), which suppresses noise for the empty/occupied decision relative
+    /// to a single symbol draw.
+    pub occupancy_integration: usize,
+    /// Seed for the noise source.
+    pub noise_seed: u64,
+    /// Whether to keep a per-slot log (useful for debugging and the figure
+    /// harness, costs memory on long runs).
+    pub logging: bool,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        Self {
+            noise_power: 1e-4,
+            occupancy_integration: 16,
+            noise_seed: 0x5eed,
+            logging: false,
+        }
+    }
+}
+
+/// One logged slot: which tags reflected and what the reader received.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotLog {
+    /// Indices of the tags that reflected in this slot.
+    pub participants: Vec<usize>,
+    /// The (leakage-removed, noisy) symbol the reader observed.
+    pub symbol: Complex,
+}
+
+/// The simulated air interface.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    channels: Vec<Channel>,
+    leakage: CarrierLeakage,
+    noise: AwgnSource,
+    detector: PowerDetector,
+    config: MediumConfig,
+    log: Vec<SlotLog>,
+}
+
+impl Medium {
+    /// Creates a medium for a set of tag channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty channel set or invalid noise parameters.
+    pub fn new(channels: Vec<Channel>, config: MediumConfig) -> SimResult<Self> {
+        if channels.is_empty() {
+            return Err(SimError::InvalidParameter("medium needs at least one tag"));
+        }
+        if config.occupancy_integration == 0 {
+            return Err(SimError::InvalidParameter(
+                "occupancy integration must be non-zero",
+            ));
+        }
+        let noise = AwgnSource::new(config.noise_seed, config.noise_power)?;
+        // Occupancy threshold: several times the post-integration noise power,
+        // so empty slots are rarely mistaken for occupied ones while even a
+        // weak single tag still trips the detector in good conditions.
+        let integrated_noise = config.noise_power / config.occupancy_integration as f64;
+        let detector = PowerDetector::new(integrated_noise * 9.0)?;
+        Ok(Self {
+            channels,
+            leakage: CarrierLeakage::typical(),
+            noise,
+            detector,
+            config,
+            log: Vec::new(),
+        })
+    }
+
+    /// The number of tags on this medium.
+    #[must_use]
+    pub fn num_tags(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The per-tag channels (ground truth; protocols should *estimate* these
+    /// rather than read them unless the experiment grants genie knowledge).
+    #[must_use]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The configured noise power.
+    #[must_use]
+    pub fn noise_power(&self) -> f64 {
+        self.config.noise_power
+    }
+
+    /// The carrier-leakage baseline (what a raw, uncorrected trace rides on).
+    #[must_use]
+    pub fn leakage(&self) -> CarrierLeakage {
+        self.leakage
+    }
+
+    /// The slot log (empty unless logging was enabled).
+    #[must_use]
+    pub fn log(&self) -> &[SlotLog] {
+        &self.log
+    }
+
+    fn check_bits(&self, bits: &[bool]) -> SimResult<()> {
+        if bits.len() != self.channels.len() {
+            return Err(SimError::Phy(backscatter_phy::PhyError::LengthMismatch {
+                expected: self.channels.len(),
+                actual: bits.len(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// The noiseless superposition of the reflections of the tags whose bit is
+    /// `true` (no leakage).
+    fn clean_symbol(&self, bits: &[bool]) -> Complex {
+        self.channels
+            .iter()
+            .zip(bits)
+            .filter(|(_, &b)| b)
+            .map(|(c, _)| c.coefficient)
+            .sum()
+    }
+
+    /// One received symbol with leakage removed and noise added — the quantity
+    /// the Buzz decoders operate on.
+    ///
+    /// `bits[i]` is whether tag `i` reflects in this slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `bits` does not cover every tag.
+    pub fn observe(&mut self, bits: &[bool]) -> SimResult<Complex> {
+        self.check_bits(bits)?;
+        let symbol = self.clean_symbol(bits) + self.noise.sample();
+        if self.config.logging {
+            self.log.push(SlotLog {
+                participants: bits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .collect(),
+                symbol,
+            });
+        }
+        Ok(symbol)
+    }
+
+    /// One received symbol *including* the carrier-leakage baseline — what a
+    /// raw USRP capture looks like before the reader subtracts the static
+    /// environment (used by the Fig. 2/3 waveform reproductions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `bits` does not cover every tag.
+    pub fn observe_raw(&mut self, bits: &[bool]) -> SimResult<Complex> {
+        Ok(self.observe(bits)? + self.leakage.baseline)
+    }
+
+    /// One received symbol where each tag reflects for only a *fraction* of
+    /// the integration window (`weights[i] ∈ [0, 1]`).
+    ///
+    /// This models imperfect chip/symbol alignment: a tag whose clock is
+    /// offset by a fraction `f` of the period contributes `(1 − f)` of its
+    /// current chip and `f` of its previous chip to the reader's integrator.
+    /// The synchronous CDMA baseline uses this to capture how residual offsets
+    /// break Walsh-code orthogonality (the origin of its near-far problem).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `weights` does not cover every tag,
+    /// or an invalid-parameter error if any weight is outside `[0, 1]`.
+    pub fn observe_fractional(&mut self, weights: &[f64]) -> SimResult<Complex> {
+        if weights.len() != self.channels.len() {
+            return Err(SimError::Phy(backscatter_phy::PhyError::LengthMismatch {
+                expected: self.channels.len(),
+                actual: weights.len(),
+            }));
+        }
+        if weights.iter().any(|w| !(0.0..=1.0).contains(w)) {
+            return Err(SimError::InvalidParameter(
+                "fractional reflection weights must be in [0, 1]",
+            ));
+        }
+        let clean: Complex = self
+            .channels
+            .iter()
+            .zip(weights)
+            .map(|(c, &w)| c.coefficient * w)
+            .sum();
+        Ok(clean + self.noise.sample())
+    }
+
+    /// Observes a whole sequence of slots: `per_slot_bits[j][i]` is tag `i`'s
+    /// bit in slot `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if any slot does not cover every tag.
+    pub fn observe_sequence(&mut self, per_slot_bits: &[Vec<bool>]) -> SimResult<Vec<Complex>> {
+        per_slot_bits.iter().map(|b| self.observe(b)).collect()
+    }
+
+    /// The reader's empty/occupied decision for a slot, integrating over the
+    /// slot duration (suppresses noise relative to a single symbol draw).
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `bits` does not cover every tag.
+    pub fn observe_occupancy(&mut self, bits: &[bool]) -> SimResult<SlotObservation> {
+        self.check_bits(bits)?;
+        let clean = self.clean_symbol(bits);
+        let n = self.config.occupancy_integration;
+        // Average power over n independent looks at the same slot.
+        let mean_power: f64 = (0..n)
+            .map(|_| (clean + self.noise.sample()).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        // Subtract the expected noise contribution so the threshold compares
+        // signal energy (matched to how a real reader calibrates on silence).
+        let signal_power = (mean_power - self.config.noise_power).max(0.0);
+        Ok(if signal_power > self.detector.threshold {
+            SlotObservation::Occupied
+        } else {
+            SlotObservation::Empty
+        })
+    }
+
+    /// The per-tag SNR in dB implied by this medium (channel power over noise
+    /// power), mainly for labelling experiment conditions like Fig. 12.
+    #[must_use]
+    pub fn per_tag_snr_db(&self) -> Vec<f64> {
+        self.channels
+            .iter()
+            .map(|c| c.snr_db(self.config.noise_power).unwrap_or(f64::INFINITY))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium_with(channels: &[(f64, f64)], noise_power: f64) -> Medium {
+        let chans: Vec<Channel> = channels
+            .iter()
+            .map(|&(re, im)| Channel::from_coefficient(Complex::new(re, im)))
+            .collect();
+        Medium::new(
+            chans,
+            MediumConfig {
+                noise_power,
+                ..MediumConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_channel_set() {
+        assert!(Medium::new(vec![], MediumConfig::default()).is_err());
+        let cfg = MediumConfig {
+            occupancy_integration: 0,
+            ..MediumConfig::default()
+        };
+        assert!(Medium::new(
+            vec![Channel::from_coefficient(Complex::ONE)],
+            cfg
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn observe_checks_bit_vector_length() {
+        let mut m = medium_with(&[(1.0, 0.0), (0.5, 0.0)], 1e-6);
+        assert!(m.observe(&[true]).is_err());
+        assert!(m.observe(&[true, false, true]).is_err());
+        assert!(m.observe(&[true, false]).is_ok());
+    }
+
+    #[test]
+    fn noiseless_superposition_is_sum_of_channels() {
+        let mut m = medium_with(&[(1.0, 0.0), (0.0, 0.5)], 0.0);
+        let y = m.observe(&[true, true]).unwrap();
+        assert!((y - Complex::new(1.0, 0.5)).abs() < 1e-12);
+        let y0 = m.observe(&[false, false]).unwrap();
+        assert!(y0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_observation_includes_leakage() {
+        let mut m = medium_with(&[(1.0, 0.0)], 0.0);
+        let clean = m.observe(&[false]).unwrap();
+        let raw = m.observe_raw(&[false]).unwrap();
+        assert!((raw - clean - m.leakage().baseline).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_detection_distinguishes_silence_from_reflection() {
+        let mut m = medium_with(&[(0.3, 0.0), (0.0, 0.2)], 1e-4);
+        let mut false_occupied = 0;
+        let mut missed = 0;
+        for _ in 0..200 {
+            if m.observe_occupancy(&[false, false]).unwrap() == SlotObservation::Occupied {
+                false_occupied += 1;
+            }
+            if m.observe_occupancy(&[true, false]).unwrap() == SlotObservation::Empty {
+                missed += 1;
+            }
+        }
+        assert!(false_occupied <= 2, "false occupied: {false_occupied}");
+        assert_eq!(missed, 0, "missed detections: {missed}");
+    }
+
+    #[test]
+    fn fractional_observation_scales_contributions() {
+        let mut m = medium_with(&[(1.0, 0.0), (0.0, 2.0)], 0.0);
+        let y = m.observe_fractional(&[0.5, 0.25]).unwrap();
+        assert!((y - Complex::new(0.5, 0.5)).abs() < 1e-12);
+        assert!(m.observe_fractional(&[0.5]).is_err());
+        assert!(m.observe_fractional(&[0.5, 1.5]).is_err());
+        // Weights of exactly 0/1 reproduce the boolean observation.
+        let y_bool = m.observe(&[true, false]).unwrap();
+        let y_frac = m.observe_fractional(&[1.0, 0.0]).unwrap();
+        assert!((y_bool - y_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_sequence_matches_individual_observations() {
+        let mut a = medium_with(&[(1.0, 0.0), (0.5, 0.5)], 1e-5);
+        let mut b = medium_with(&[(1.0, 0.0), (0.5, 0.5)], 1e-5);
+        let slots = vec![vec![true, false], vec![false, true], vec![true, true]];
+        let seq = a.observe_sequence(&slots).unwrap();
+        let indiv: Vec<Complex> = slots.iter().map(|s| b.observe(s).unwrap()).collect();
+        assert_eq!(seq, indiv);
+    }
+
+    #[test]
+    fn logging_records_participants() {
+        let chans = vec![
+            Channel::from_coefficient(Complex::ONE),
+            Channel::from_coefficient(Complex::I),
+        ];
+        let mut m = Medium::new(
+            chans,
+            MediumConfig {
+                logging: true,
+                ..MediumConfig::default()
+            },
+        )
+        .unwrap();
+        m.observe(&[true, false]).unwrap();
+        m.observe(&[true, true]).unwrap();
+        assert_eq!(m.log().len(), 2);
+        assert_eq!(m.log()[0].participants, vec![0]);
+        assert_eq!(m.log()[1].participants, vec![0, 1]);
+    }
+
+    #[test]
+    fn per_tag_snr_reflects_channel_strength() {
+        let m = medium_with(&[(1.0, 0.0), (0.1, 0.0)], 1e-2);
+        let snrs = m.per_tag_snr_db();
+        assert!((snrs[0] - 20.0).abs() < 1e-9);
+        assert!((snrs[1] - 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,358 @@
+//! Reproducible experiment scenarios.
+//!
+//! A [`Scenario`] captures one "experiment location" from the paper: `K` tags
+//! placed on the cart at some distance from the reader, each with a drawn
+//! channel, clock, and message, plus the [`Medium`] they all share.  A
+//! scenario is fully determined by its [`ScenarioConfig`], so every protocol
+//! (Buzz, TDMA, CDMA, FSA) can be run against *identical* channels and noise —
+//! the simulator's analogue of the paper running the three schemes
+//! back-to-back without moving the tags.
+
+use backscatter_codes::message::Message;
+use backscatter_phy::channel::{ChannelModel, FadingModel, PathLoss};
+use backscatter_phy::snr::snr_db_to_linear;
+use backscatter_phy::sync::{ClockModel, SyncJitter};
+use backscatter_prng::{NodeSeed, Rng64, SplitMix64, Xoshiro256};
+
+use crate::energy::TagBattery;
+use crate::geometry::{cart_layout, TablePlacement};
+use crate::medium::{Medium, MediumConfig};
+use crate::tag::SimTag;
+use crate::{SimError, SimResult};
+
+/// Parameters describing one experiment location.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Number of tags with data to transmit (the paper's `K`).
+    pub k: usize,
+    /// Size of the global id space the tags are drawn from (the paper's `N`,
+    /// e.g. one million items in a store).
+    pub global_id_space: u64,
+    /// Master seed: changing it is the analogue of moving to a new location.
+    pub seed: u64,
+    /// Distance from the reader to the near edge of the cart, meters.
+    pub cart_distance_m: f64,
+    /// Message payload length in bits (32 for the §9 experiments, 96 for the
+    /// §8.2 microbenchmark).
+    pub message_bits: usize,
+    /// Median per-tag SNR target in dB; the noise power is chosen so the
+    /// median-strength tag sees this SNR.  `None` keeps the default noise
+    /// floor.
+    pub median_snr_db: Option<f64>,
+    /// Starting voltage of each tag's capacitor, volts.
+    pub starting_voltage_v: f64,
+    /// Maximum per-tag clock drift magnitude, ppm.
+    pub max_clock_drift_ppm: f64,
+}
+
+impl ScenarioConfig {
+    /// The paper's default uplink experiment: `K` tags, 32-bit messages, cart
+    /// close to the reader (good channels).
+    #[must_use]
+    pub fn paper_uplink(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            global_id_space: 1_000_000,
+            seed,
+            cart_distance_m: 0.25,
+            message_bits: 32,
+            median_snr_db: Some(22.0),
+            starting_voltage_v: 3.0,
+            max_clock_drift_ppm: 1600.0,
+        }
+    }
+
+    /// A challenging-channel variant of the uplink experiment (the Fig. 12
+    /// regime): same tags, but the target median SNR is lowered.
+    #[must_use]
+    pub fn challenging(k: usize, seed: u64, median_snr_db: f64) -> Self {
+        Self {
+            median_snr_db: Some(median_snr_db),
+            cart_distance_m: 0.9,
+            ..Self::paper_uplink(k, seed)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for out-of-range fields.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.k == 0 {
+            return Err(SimError::InvalidParameter("K must be at least 1"));
+        }
+        if self.global_id_space < self.k as u64 {
+            return Err(SimError::InvalidParameter(
+                "global id space must be at least K",
+            ));
+        }
+        if !(self.cart_distance_m > 0.0 && self.cart_distance_m.is_finite()) {
+            return Err(SimError::InvalidParameter("cart distance must be positive"));
+        }
+        if self.message_bits == 0 {
+            return Err(SimError::InvalidParameter("messages must be non-empty"));
+        }
+        if !(self.starting_voltage_v > 0.0 && self.starting_voltage_v.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "starting voltage must be positive",
+            ));
+        }
+        if !(self.max_clock_drift_ppm >= 0.0 && self.max_clock_drift_ppm.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "clock drift bound must be non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fully-instantiated experiment: the tags and the medium they share.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    placement: TablePlacement,
+    tags: Vec<SimTag>,
+    noise_power: f64,
+}
+
+impl Scenario {
+    /// Builds the scenario described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an invalid configuration.
+    pub fn build(config: ScenarioConfig) -> SimResult<Self> {
+        config.validate()?;
+        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(config.seed, 0x5ce9a210));
+
+        let placement = cart_layout(config.k, config.cart_distance_m, rng.next_u64())?;
+        let distances = placement.tag_distances_m();
+
+        let mut channel_model = ChannelModel::new(
+            rng.next_u64(),
+            PathLoss::LogDistance {
+                reference_m: 0.6,
+                reference_power: 1.0,
+                exponent: 4.0,
+            },
+            FadingModel::Rician { k_factor: 10.0 },
+            0.8,
+        )?;
+        let channels = channel_model.draw_many(&distances);
+
+        // Choose the noise floor: either pinned to the target median SNR or a
+        // fixed low floor.
+        let mut powers: Vec<f64> = channels.iter().map(|c| c.power()).collect();
+        powers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        let median_power = powers[powers.len() / 2];
+        let noise_power = match config.median_snr_db {
+            Some(db) => median_power / snr_db_to_linear(db),
+            None => 1e-6,
+        };
+
+        let jitter = SyncJitter::moo();
+        let mut global_ids = Vec::with_capacity(config.k);
+        let mut tags = Vec::with_capacity(config.k);
+        for (i, channel) in channels.iter().enumerate() {
+            // Draw a distinct global id for each tag.
+            let mut gid = rng.next_bounded(config.global_id_space);
+            while global_ids.contains(&gid) {
+                gid = rng.next_bounded(config.global_id_space);
+            }
+            global_ids.push(gid);
+
+            let message = Message::random(SplitMix64::mix(config.seed, gid), config.message_bits)?;
+            tags.push(SimTag {
+                index: i,
+                global_id: gid,
+                node_seed: NodeSeed(gid),
+                message,
+                position: placement.tags[i],
+                channel: *channel,
+                clock: ClockModel::draw(&mut rng, config.max_clock_drift_ppm),
+                initial_offset_us: jitter.draw_us(&mut rng),
+                battery: TagBattery::paper_rig(config.starting_voltage_v)?,
+            });
+        }
+
+        Ok(Self {
+            config,
+            placement,
+            tags,
+            noise_power,
+        })
+    }
+
+    /// The configuration this scenario was built from.
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The tag placement.
+    #[must_use]
+    pub fn placement(&self) -> &TablePlacement {
+        &self.placement
+    }
+
+    /// The tags (immutable view).
+    #[must_use]
+    pub fn tags(&self) -> &[SimTag] {
+        &self.tags
+    }
+
+    /// The tags (mutable view, for protocols that update seeds, batteries or
+    /// messages).
+    pub fn tags_mut(&mut self) -> &mut [SimTag] {
+        &mut self.tags
+    }
+
+    /// The noise power of the shared medium.
+    #[must_use]
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// Builds a fresh [`Medium`] over this scenario's channels.  Each protocol
+    /// run should create its own medium (with a distinct `noise_seed`) so the
+    /// channels stay fixed while the noise realization varies, mirroring
+    /// back-to-back trace collection in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates medium construction errors.
+    pub fn medium(&self, noise_seed: u64) -> SimResult<Medium> {
+        let channels = self.tags.iter().map(|t| t.channel).collect();
+        Medium::new(
+            channels,
+            MediumConfig {
+                noise_power: self.noise_power,
+                noise_seed,
+                ..MediumConfig::default()
+            },
+        )
+    }
+
+    /// Per-tag SNRs in dB, for labelling results the way Fig. 12 does.
+    #[must_use]
+    pub fn per_tag_snr_db(&self) -> Vec<f64> {
+        self.tags
+            .iter()
+            .map(|t| {
+                t.channel
+                    .snr_db(self.noise_power)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect()
+    }
+
+    /// The SNR range (min, max) across tags in dB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if the scenario has no tags
+    /// (cannot happen for a built scenario).
+    pub fn snr_range_db(&self) -> SimResult<(f64, f64)> {
+        let snrs = self.per_tag_snr_db();
+        if snrs.is_empty() {
+            return Err(SimError::InvalidParameter("scenario has no tags"));
+        }
+        let min = snrs.iter().copied().fold(f64::MAX, f64::min);
+        let max = snrs.iter().copied().fold(f64::MIN, f64::max);
+        Ok((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(ScenarioConfig::paper_uplink(8, 1).validate().is_ok());
+        let mut c = ScenarioConfig::paper_uplink(0, 1);
+        c.k = 0;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper_uplink(8, 1);
+        c.global_id_space = 2;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper_uplink(8, 1);
+        c.message_bits = 0;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper_uplink(8, 1);
+        c.cart_distance_m = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Scenario::build(ScenarioConfig::paper_uplink(8, 42)).unwrap();
+        let b = Scenario::build(ScenarioConfig::paper_uplink(8, 42)).unwrap();
+        assert_eq!(a.tags().len(), 8);
+        for (ta, tb) in a.tags().iter().zip(b.tags()) {
+            assert_eq!(ta.global_id, tb.global_id);
+            assert_eq!(ta.channel, tb.channel);
+            assert_eq!(ta.message, tb.message);
+        }
+        assert_eq!(a.noise_power(), b.noise_power());
+    }
+
+    #[test]
+    fn different_seeds_are_different_locations() {
+        let a = Scenario::build(ScenarioConfig::paper_uplink(8, 1)).unwrap();
+        let b = Scenario::build(ScenarioConfig::paper_uplink(8, 2)).unwrap();
+        let same_channels = a
+            .tags()
+            .iter()
+            .zip(b.tags())
+            .all(|(x, y)| x.channel == y.channel);
+        assert!(!same_channels);
+    }
+
+    #[test]
+    fn global_ids_are_distinct() {
+        let s = Scenario::build(ScenarioConfig::paper_uplink(16, 3)).unwrap();
+        let mut ids: Vec<u64> = s.tags().iter().map(|t| t.global_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn median_snr_is_close_to_target() {
+        let s = Scenario::build(ScenarioConfig::paper_uplink(9, 5)).unwrap();
+        let mut snrs = s.per_tag_snr_db();
+        snrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = snrs[snrs.len() / 2];
+        assert!((median - 22.0).abs() < 0.5, "median = {median}");
+    }
+
+    #[test]
+    fn challenging_scenario_has_lower_snr() {
+        let good = Scenario::build(ScenarioConfig::paper_uplink(4, 7)).unwrap();
+        let bad = Scenario::build(ScenarioConfig::challenging(4, 7, 6.0)).unwrap();
+        let mean = |s: &Scenario| {
+            s.per_tag_snr_db().iter().sum::<f64>() / s.tags().len() as f64
+        };
+        assert!(mean(&bad) < mean(&good));
+    }
+
+    #[test]
+    fn medium_shares_scenario_channels() {
+        let s = Scenario::build(ScenarioConfig::paper_uplink(4, 9)).unwrap();
+        let m = s.medium(1).unwrap();
+        assert_eq!(m.num_tags(), 4);
+        for (mc, tc) in m.channels().iter().zip(s.tags()) {
+            assert_eq!(*mc, tc.channel);
+        }
+        assert_eq!(m.noise_power(), s.noise_power());
+    }
+
+    #[test]
+    fn snr_range_is_ordered() {
+        let s = Scenario::build(ScenarioConfig::paper_uplink(12, 11)).unwrap();
+        let (lo, hi) = s.snr_range_db().unwrap();
+        assert!(lo <= hi);
+    }
+}

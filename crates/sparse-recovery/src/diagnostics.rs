@@ -1,0 +1,175 @@
+//! Support-recovery diagnostics.
+//!
+//! The identification experiments need to score how well a recovered support
+//! (set of temporary ids declared active) matches the ground truth, and how
+//! accurately the recovered complex values estimate the true channels.
+
+use backscatter_phy::complex::Complex;
+
+/// Comparison of a recovered support against the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportRecovery {
+    /// True-positive indices (recovered and truly active).
+    pub true_positives: Vec<usize>,
+    /// False-positive indices (recovered but not active).
+    pub false_positives: Vec<usize>,
+    /// False-negative indices (active but not recovered).
+    pub false_negatives: Vec<usize>,
+}
+
+impl SupportRecovery {
+    /// Scores a recovered support against the true one.
+    #[must_use]
+    pub fn score(true_support: &[usize], recovered: &[usize]) -> Self {
+        let mut true_sorted = true_support.to_vec();
+        true_sorted.sort_unstable();
+        true_sorted.dedup();
+        let mut rec_sorted = recovered.to_vec();
+        rec_sorted.sort_unstable();
+        rec_sorted.dedup();
+
+        let true_positives: Vec<usize> = rec_sorted
+            .iter()
+            .copied()
+            .filter(|i| true_sorted.binary_search(i).is_ok())
+            .collect();
+        let false_positives: Vec<usize> = rec_sorted
+            .iter()
+            .copied()
+            .filter(|i| true_sorted.binary_search(i).is_err())
+            .collect();
+        let false_negatives: Vec<usize> = true_sorted
+            .iter()
+            .copied()
+            .filter(|i| rec_sorted.binary_search(i).is_err())
+            .collect();
+        Self {
+            true_positives,
+            false_positives,
+            false_negatives,
+        }
+    }
+
+    /// Precision: fraction of recovered indices that are truly active (1.0
+    /// when nothing was recovered).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let recovered = self.true_positives.len() + self.false_positives.len();
+        if recovered == 0 {
+            1.0
+        } else {
+            self.true_positives.len() as f64 / recovered as f64
+        }
+    }
+
+    /// Recall: fraction of truly active indices that were recovered (1.0 when
+    /// the true support is empty).
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let truth = self.true_positives.len() + self.false_negatives.len();
+        if truth == 0 {
+            1.0
+        } else {
+            self.true_positives.len() as f64 / truth as f64
+        }
+    }
+
+    /// Whether the recovery was exact (no false positives or negatives).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.false_positives.is_empty() && self.false_negatives.is_empty()
+    }
+}
+
+/// Relative channel-estimation error over the correctly-recovered indices:
+/// `‖ĥ − h‖ / ‖h‖`, where both vectors are restricted to the true positives.
+///
+/// Returns `None` if there are no true positives to compare (or the true
+/// values have zero energy).
+#[must_use]
+pub fn channel_estimation_error(
+    true_values: &[(usize, Complex)],
+    recovered_values: &[(usize, Complex)],
+) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut matched = false;
+    for &(idx, truth) in true_values {
+        if let Some(&(_, est)) = recovered_values.iter().find(|(i, _)| *i == idx) {
+            num += (est - truth).norm_sqr();
+            den += truth.norm_sqr();
+            matched = true;
+        }
+    }
+    if !matched || den == 0.0 {
+        None
+    } else {
+        Some((num / den).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery() {
+        let s = SupportRecovery::score(&[1, 5, 9], &[9, 1, 5]);
+        assert!(s.is_exact());
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn partial_recovery() {
+        let s = SupportRecovery::score(&[1, 2, 3, 4], &[1, 2, 7]);
+        assert_eq!(s.true_positives, vec![1, 2]);
+        assert_eq!(s.false_positives, vec![7]);
+        assert_eq!(s.false_negatives, vec![3, 4]);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+        assert!(!s.is_exact());
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = SupportRecovery::score(&[], &[]);
+        assert!(s.is_exact());
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = SupportRecovery::score(&[1], &[]);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 1.0);
+        let s = SupportRecovery::score(&[], &[1]);
+        assert_eq!(s.precision(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let s = SupportRecovery::score(&[1, 1, 2], &[2, 2, 1]);
+        assert!(s.is_exact());
+    }
+
+    #[test]
+    fn channel_error_zero_for_perfect_estimates() {
+        let truth = vec![(3, Complex::new(1.0, -1.0)), (7, Complex::new(0.5, 0.2))];
+        let err = channel_estimation_error(&truth, &truth).unwrap();
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn channel_error_scales_with_perturbation() {
+        let truth = vec![(0, Complex::new(1.0, 0.0))];
+        let est = vec![(0, Complex::new(1.1, 0.0))];
+        let err = channel_estimation_error(&truth, &est).unwrap();
+        assert!((err - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_error_none_without_overlap() {
+        let truth = vec![(0, Complex::ONE)];
+        let est = vec![(1, Complex::ONE)];
+        assert!(channel_estimation_error(&truth, &est).is_none());
+        assert!(channel_estimation_error(&[], &[]).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! ISTA: iterative soft-thresholding for L1-regularized sparse recovery.
+//!
+//! The paper's reference implementation solves the basis-pursuit problem
+//! (Eq. 6) with a Matlab interior-point solver.  ISTA solves the Lagrangian
+//! form `min ½‖A·z − y‖² + λ‖z‖₁` by gradient steps followed by complex soft
+//! thresholding.  It is slower to converge than OMP but does not need to know
+//! the sparsity level, which makes it the natural cross-check solver for the
+//! ablation bench (`omp_vs_ista`).
+
+use backscatter_codes::sparse_matrix::SparseBinaryMatrix;
+use backscatter_phy::complex::Complex;
+
+use crate::omp::SparseSolution;
+use crate::{RecoveryError, RecoveryResult};
+
+/// Configuration of the ISTA solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IstaConfig {
+    /// L1 weight λ, relative to the largest column correlation of the
+    /// measurement (so the same value works across signal scales).
+    pub relative_lambda: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Stop when the iterate changes by less than this L2 norm.
+    pub convergence_tolerance: f64,
+}
+
+impl IstaConfig {
+    /// A default configuration that works well for Buzz-sized problems.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            relative_lambda: 0.05,
+            max_iterations: 500,
+            convergence_tolerance: 1e-7,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::InvalidParameter`] for degenerate values.
+    pub fn validate(&self) -> RecoveryResult<()> {
+        if !(self.relative_lambda > 0.0 && self.relative_lambda < 1.0) {
+            return Err(RecoveryError::InvalidParameter(
+                "relative lambda must be in (0, 1)",
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err(RecoveryError::InvalidParameter(
+                "max iterations must be non-zero",
+            ));
+        }
+        if !(self.convergence_tolerance > 0.0) {
+            return Err(RecoveryError::InvalidParameter(
+                "convergence tolerance must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for IstaConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The ISTA solver.
+#[derive(Debug, Clone)]
+pub struct IstaSolver {
+    config: IstaConfig,
+}
+
+impl IstaSolver {
+    /// Creates a solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::InvalidParameter`] for an invalid
+    /// configuration.
+    pub fn new(config: IstaConfig) -> RecoveryResult<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Applies the binary matrix: `A·z`.
+    fn apply(a: &SparseBinaryMatrix, z: &[Complex]) -> Vec<Complex> {
+        (0..a.rows())
+            .map(|r| a.row(r).iter().map(|&c| z[c]).sum())
+            .collect()
+    }
+
+    /// Applies the adjoint: `Aᵀ·v` (entries are real 0/1 so conjugation is a
+    /// no-op on the matrix).
+    fn apply_adjoint(a: &SparseBinaryMatrix, v: &[Complex]) -> Vec<Complex> {
+        (0..a.cols())
+            .map(|c| a.col(c).iter().map(|&r| v[r]).sum())
+            .collect()
+    }
+
+    /// Upper bound on the spectral norm of `AᵀA` for a binary matrix:
+    /// `‖A‖² ≤ (max row weight) · (max column weight)`.
+    fn lipschitz_bound(a: &SparseBinaryMatrix) -> f64 {
+        let max_row = (0..a.rows()).map(|r| a.row(r).len()).max().unwrap_or(1);
+        let max_col = (0..a.cols()).map(|c| a.col(c).len()).max().unwrap_or(1);
+        (max_row.max(1) * max_col.max(1)) as f64
+    }
+
+    /// Complex soft threshold: shrinks the magnitude by `threshold`, keeping
+    /// the phase.
+    fn soft(z: Complex, threshold: f64) -> Complex {
+        let mag = z.abs();
+        if mag <= threshold {
+            Complex::ZERO
+        } else {
+            z * ((mag - threshold) / mag)
+        }
+    }
+
+    /// Recovers a sparse complex vector `z` from `y ≈ A·z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not have one
+    /// entry per row of `a`, or [`RecoveryError::InvalidParameter`] if the
+    /// matrix has no columns.
+    pub fn solve(
+        &self,
+        a: &SparseBinaryMatrix,
+        y: &[Complex],
+    ) -> RecoveryResult<SparseSolution> {
+        if y.len() != a.rows() {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: a.rows(),
+                actual: y.len(),
+            });
+        }
+        if a.cols() == 0 {
+            return Err(RecoveryError::InvalidParameter(
+                "sensing matrix has no columns",
+            ));
+        }
+        let y_energy: f64 = y.iter().map(|s| s.norm_sqr()).sum();
+        if y_energy == 0.0 {
+            return Ok(SparseSolution {
+                support: vec![],
+                values: vec![],
+                relative_residual: 0.0,
+            });
+        }
+
+        let lipschitz = Self::lipschitz_bound(a);
+        let step = 1.0 / lipschitz;
+        // λ is scaled to the largest initial correlation so the same relative
+        // value behaves consistently across channel-power scales.
+        let correlations = Self::apply_adjoint(a, y);
+        let max_corr = correlations.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+        let lambda = self.config.relative_lambda * max_corr;
+
+        let mut z = vec![Complex::ZERO; a.cols()];
+        for _ in 0..self.config.max_iterations {
+            let fit = Self::apply(a, &z);
+            let residual: Vec<Complex> = y.iter().zip(&fit).map(|(&m, &f)| m - f).collect();
+            let gradient = Self::apply_adjoint(a, &residual);
+            let mut max_change = 0.0f64;
+            for (zi, gi) in z.iter_mut().zip(&gradient) {
+                let updated = Self::soft(*zi + *gi * step, lambda * step);
+                max_change = max_change.max((updated - *zi).abs());
+                *zi = updated;
+            }
+            if max_change < self.config.convergence_tolerance {
+                break;
+            }
+        }
+
+        // Debias: keep the support, report the thresholded values (callers can
+        // least-squares refit via OMP if they need unbiased magnitudes).
+        let mut support = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in z.iter().enumerate() {
+            if v.abs() > 0.0 {
+                support.push(i);
+                values.push(v);
+            }
+        }
+        let fit = Self::apply(a, &z);
+        let res_energy: f64 = y
+            .iter()
+            .zip(&fit)
+            .map(|(&m, &f)| (m - f).norm_sqr())
+            .sum();
+        Ok(SparseSolution {
+            support,
+            values,
+            relative_residual: res_energy / y_energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backscatter_prng::{NodeSeed, Rng64, Xoshiro256};
+
+    fn make_problem(
+        n_cols: usize,
+        k: usize,
+        rows: usize,
+        seed: u64,
+    ) -> (SparseBinaryMatrix, Vec<Complex>, Vec<usize>) {
+        let seeds: Vec<NodeSeed> = (0..n_cols).map(|i| NodeSeed(seed * 7_919 + i as u64)).collect();
+        let a = SparseBinaryMatrix::from_seeds(rows, &seeds, 0.5);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut support: Vec<usize> = Vec::new();
+        while support.len() < k {
+            let c = rng.next_bounded(n_cols as u64) as usize;
+            if !support.contains(&c) {
+                support.push(c);
+            }
+        }
+        let mut y = vec![Complex::ZERO; rows];
+        for &col in &support {
+            let val =
+                Complex::from_polar(0.5 + rng.next_f64(), rng.next_f64() * core::f64::consts::TAU);
+            for &r in a.col(col) {
+                y[r] += val;
+            }
+        }
+        support.sort_unstable();
+        (a, y, support)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(IstaConfig::paper_default().validate().is_ok());
+        assert!(IstaConfig {
+            relative_lambda: 0.0,
+            ..IstaConfig::paper_default()
+        }
+        .validate()
+        .is_err());
+        assert!(IstaConfig {
+            max_iterations: 0,
+            ..IstaConfig::paper_default()
+        }
+        .validate()
+        .is_err());
+        assert!(IstaConfig {
+            convergence_tolerance: 0.0,
+            ..IstaConfig::paper_default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn soft_threshold_behaviour() {
+        assert_eq!(IstaSolver::soft(Complex::new(0.05, 0.0), 0.1), Complex::ZERO);
+        let shrunk = IstaSolver::soft(Complex::new(1.0, 0.0), 0.25);
+        assert!((shrunk.re - 0.75).abs() < 1e-12);
+        // Phase is preserved.
+        let z = Complex::from_polar(2.0, 1.1);
+        let s = IstaSolver::soft(z, 0.5);
+        assert!((s.arg() - 1.1).abs() < 1e-9);
+        assert!((s.abs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let solver = IstaSolver::new(IstaConfig::paper_default()).unwrap();
+        let a = SparseBinaryMatrix::zeros(4, 3);
+        assert!(solver.solve(&a, &[Complex::ONE; 2]).is_err());
+        let no_cols = SparseBinaryMatrix::zeros(4, 0);
+        assert!(solver.solve(&no_cols, &[Complex::ONE; 4]).is_err());
+    }
+
+    #[test]
+    fn zero_measurement_is_trivial() {
+        let solver = IstaSolver::new(IstaConfig::paper_default()).unwrap();
+        let a = SparseBinaryMatrix::from_ones(3, 2, &[(0, 0)]).unwrap();
+        let sol = solver.solve(&a, &[Complex::ZERO; 3]).unwrap();
+        assert!(sol.support.is_empty());
+    }
+
+    #[test]
+    fn recovers_support_of_sparse_vector() {
+        let (a, y, support) = make_problem(120, 6, 72, 11);
+        let solver = IstaSolver::new(IstaConfig::paper_default()).unwrap();
+        let sol = solver.solve(&a, &y).unwrap();
+        let recovered = sol.pruned(0.3).sorted_support();
+        for s in &support {
+            assert!(recovered.contains(s), "missed column {s}");
+        }
+        // ISTA is biased but should not hallucinate many large spurious
+        // entries after pruning.
+        assert!(recovered.len() <= support.len() + 4, "{recovered:?}");
+    }
+
+    #[test]
+    fn residual_decreases_relative_to_zero_solution() {
+        let (a, y, _) = make_problem(80, 5, 48, 13);
+        let solver = IstaSolver::new(IstaConfig::paper_default()).unwrap();
+        let sol = solver.solve(&a, &y).unwrap();
+        assert!(sol.relative_residual < 0.5);
+    }
+
+    #[test]
+    fn lipschitz_bound_is_positive_even_for_empty_matrix() {
+        let a = SparseBinaryMatrix::zeros(3, 3);
+        assert!(IstaSolver::lipschitz_bound(&a) >= 1.0);
+    }
+}

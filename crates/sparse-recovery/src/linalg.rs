@@ -1,0 +1,352 @@
+//! Small dense complex linear algebra.
+//!
+//! The sparse solvers only ever solve *small* dense systems: OMP's
+//! least-squares refit is over the current support (at most K ≈ tens of
+//! columns), so a straightforward Gaussian elimination with partial pivoting
+//! on the normal equations is both sufficient and dependency-free.
+
+use backscatter_phy::complex::Complex;
+
+use crate::{RecoveryError, RecoveryResult};
+
+/// A dense complex matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates an all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if the data length is not
+    /// `rows × cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex>) -> RecoveryResult<Self> {
+        if data.len() != rows * cols {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access (panics only on an out-of-range index, which is a caller
+    /// bug rather than a data-dependent condition).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets an element.
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `x` has the wrong
+    /// length.
+    pub fn mul_vec(&self, x: &[Complex]) -> RecoveryResult<Vec<Complex>> {
+        if x.len() != self.cols {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.get(r, c) * x[c])
+                    .sum::<Complex>()
+            })
+            .collect())
+    }
+
+    /// Conjugate-transpose–vector product `Aᴴ·y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` has the wrong
+    /// length.
+    pub fn mul_vec_adjoint(&self, y: &[Complex]) -> RecoveryResult<Vec<Complex>> {
+        if y.len() != self.rows {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+            });
+        }
+        Ok((0..self.cols)
+            .map(|c| {
+                (0..self.rows)
+                    .map(|r| self.get(r, c).conj() * y[r])
+                    .sum::<Complex>()
+            })
+            .collect())
+    }
+}
+
+/// Solves the square complex system `M·x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError::DimensionMismatch`] for inconsistent sizes and
+/// [`RecoveryError::SingularSystem`] when a pivot vanishes.
+pub fn solve_square(m: &ComplexMatrix, b: &[Complex]) -> RecoveryResult<Vec<Complex>> {
+    let n = m.rows();
+    if m.cols() != n {
+        return Err(RecoveryError::DimensionMismatch {
+            expected: n,
+            actual: m.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(RecoveryError::DimensionMismatch {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    // Augmented working copy.
+    let mut a: Vec<Vec<Complex>> = (0..n)
+        .map(|r| (0..n).map(|c| m.get(r, c)).collect())
+        .collect();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivoting on magnitude.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+            .unwrap_or(col);
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(RecoveryError::SingularSystem);
+        }
+        a.swap(col, pivot_row);
+        rhs.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let delta = factor * a[col][k];
+                a[row][k] -= delta;
+            }
+            let delta = factor * rhs[col];
+            rhs[row] -= delta;
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![Complex::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ‖A·x − y‖₂` for a (possibly tall)
+/// matrix `A` via the normal equations `AᴴA·x = Aᴴy`.
+///
+/// A tiny Tikhonov term (`1e-12`) keeps nearly-collinear supports solvable,
+/// which matters when two tags happen to pick very similar transmit patterns.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and singular systems.
+pub fn solve_least_squares(a: &ComplexMatrix, y: &[Complex]) -> RecoveryResult<Vec<Complex>> {
+    if y.len() != a.rows() {
+        return Err(RecoveryError::DimensionMismatch {
+            expected: a.rows(),
+            actual: y.len(),
+        });
+    }
+    let n = a.cols();
+    let mut gram = ComplexMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = Complex::ZERO;
+            for r in 0..a.rows() {
+                acc += a.get(r, i).conj() * a.get(r, j);
+            }
+            if i == j {
+                acc += Complex::new(1e-12, 0.0);
+            }
+            gram.set(i, j, acc);
+        }
+    }
+    let rhs = a.mul_vec_adjoint(y)?;
+    solve_square(&gram, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn construction_checks_dimensions() {
+        assert!(ComplexMatrix::from_rows(2, 2, vec![Complex::ZERO; 3]).is_err());
+        let m = ComplexMatrix::from_rows(2, 2, vec![Complex::ONE; 4]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn mul_vec_and_adjoint() {
+        // A = [[1, i], [0, 2]]
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.set(0, 0, c(1.0, 0.0));
+        a.set(0, 1, c(0.0, 1.0));
+        a.set(1, 1, c(2.0, 0.0));
+        let x = vec![c(1.0, 0.0), c(1.0, 0.0)];
+        let y = a.mul_vec(&x).unwrap();
+        assert_eq!(y, vec![c(1.0, 1.0), c(2.0, 0.0)]);
+        // Aᴴ·y where y = [1, 1]:  [conj(1)*1 + 0, conj(i)*1 + conj(2)*1] = [1, 2 - i]
+        let z = a.mul_vec_adjoint(&[c(1.0, 0.0), c(1.0, 0.0)]).unwrap();
+        assert_eq!(z, vec![c(1.0, 0.0), c(2.0, -1.0)]);
+        assert!(a.mul_vec(&[Complex::ONE]).is_err());
+        assert!(a.mul_vec_adjoint(&[Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn solve_square_recovers_known_solution() {
+        // Random-ish well-conditioned complex system.
+        let mut m = ComplexMatrix::zeros(3, 3);
+        let entries = [
+            (0, 0, c(2.0, 1.0)),
+            (0, 1, c(0.5, -0.5)),
+            (0, 2, c(0.0, 0.3)),
+            (1, 0, c(-1.0, 0.0)),
+            (1, 1, c(3.0, 0.2)),
+            (1, 2, c(0.7, 0.0)),
+            (2, 0, c(0.0, 0.9)),
+            (2, 1, c(0.4, 0.0)),
+            (2, 2, c(1.5, -1.0)),
+        ];
+        for (r, col, v) in entries {
+            m.set(r, col, v);
+        }
+        let x_true = vec![c(1.0, -2.0), c(0.5, 0.5), c(-1.0, 1.0)];
+        let b = m.mul_vec(&x_true).unwrap();
+        let x = solve_square(&m, &b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_square_detects_singularity() {
+        let mut m = ComplexMatrix::zeros(2, 2);
+        m.set(0, 0, c(1.0, 0.0));
+        m.set(0, 1, c(2.0, 0.0));
+        m.set(1, 0, c(2.0, 0.0));
+        m.set(1, 1, c(4.0, 0.0));
+        assert_eq!(
+            solve_square(&m, &[Complex::ONE, Complex::ONE]),
+            Err(RecoveryError::SingularSystem)
+        );
+    }
+
+    #[test]
+    fn solve_square_checks_dimensions() {
+        let m = ComplexMatrix::zeros(2, 3);
+        assert!(solve_square(&m, &[Complex::ONE, Complex::ONE]).is_err());
+        let m = ComplexMatrix::zeros(2, 2);
+        assert!(solve_square(&m, &[Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn least_squares_matches_exact_solution_for_tall_system() {
+        // A is 4×2 binary, x_true complex; y = A x_true exactly, so LS must
+        // recover x_true.
+        let mut a = ComplexMatrix::zeros(4, 2);
+        a.set(0, 0, Complex::ONE);
+        a.set(1, 0, Complex::ONE);
+        a.set(1, 1, Complex::ONE);
+        a.set(2, 1, Complex::ONE);
+        a.set(3, 0, Complex::ONE);
+        let x_true = vec![c(0.8, -0.3), c(-0.2, 0.6)];
+        let y = a.mul_vec(&x_true).unwrap();
+        let x = solve_least_squares(&a, &y).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-6);
+        }
+        assert!(solve_least_squares(&a, &[Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual_in_noise() {
+        // With noise, the LS solution must have a residual no larger than the
+        // truth's residual.
+        let mut a = ComplexMatrix::zeros(6, 2);
+        for r in 0..6 {
+            a.set(r, r % 2, Complex::ONE);
+            if r % 3 == 0 {
+                a.set(r, (r + 1) % 2, Complex::ONE);
+            }
+        }
+        let x_true = vec![c(1.0, 0.0), c(0.0, 1.0)];
+        let mut y = a.mul_vec(&x_true).unwrap();
+        for (i, v) in y.iter_mut().enumerate() {
+            *v += c(0.01 * i as f64, -0.005 * i as f64);
+        }
+        let x = solve_least_squares(&a, &y).unwrap();
+        let res_ls: f64 = a
+            .mul_vec(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum();
+        let res_true: f64 = a
+            .mul_vec(&x_true)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(p, q)| (*p - *q).norm_sqr())
+            .sum();
+        assert!(res_ls <= res_true + 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reliability under worsening channels (the Fig. 12 experiment).
+//!
+//! Four tags are moved farther and farther from the reader.  TDMA and CDMA
+//! transmit at a fixed 1 bit/symbol and start losing messages; Buzz's rateless
+//! code simply takes more collision slots, dropping its aggregate rate below
+//! 1 bit/symbol while still delivering every message.
+//!
+//! Run with: `cargo run --release --example challenging_channel`
+
+use backscatter_baselines::cdma::{CdmaConfig, CdmaTransfer};
+use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
+use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use buzz::protocol::{BuzzConfig, BuzzProtocol};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let snr_points = [22.0, 15.0, 10.0, 6.0, 4.0];
+    println!(
+        "{:>12} | {:>22} | {:>18} | {:>18}",
+        "median SNR", "Buzz (rate, loss)", "TDMA loss", "CDMA loss"
+    );
+    println!("{}", "-".repeat(80));
+
+    for (i, &snr_db) in snr_points.iter().enumerate() {
+        let mut buzz_rate = 0.0;
+        let mut buzz_loss = 0.0;
+        let mut tdma_loss = 0.0;
+        let mut cdma_loss = 0.0;
+        let trials = 5u64;
+
+        for trial in 0..trials {
+            let seed = 500 + i as u64 * 10 + trial;
+            let mut scenario = Scenario::build(ScenarioConfig::challenging(4, seed, snr_db))?;
+
+            // Buzz in periodic mode: isolates the data-phase rate adaptation,
+            // like §9's uplink experiments which assume identification is done.
+            let buzz = BuzzProtocol::new(BuzzConfig {
+                periodic_mode: true,
+                ..BuzzConfig::default()
+            })?;
+            let outcome = buzz.run(&mut scenario, trial)?;
+            buzz_rate += outcome.transfer.bits_per_symbol();
+            buzz_loss += outcome.message_loss_rate();
+
+            let tdma = TdmaTransfer::new(TdmaConfig::default())?;
+            let mut medium = scenario.medium(trial)?;
+            tdma_loss += tdma.run(scenario.tags(), &mut medium)?.loss_rate();
+
+            let cdma = CdmaTransfer::new(CdmaConfig::default())?;
+            let mut medium = scenario.medium(trial)?;
+            cdma_loss += cdma.run(scenario.tags(), &mut medium)?.loss_rate();
+        }
+
+        let n = trials as f64;
+        println!(
+            "{:>9.0} dB | {:>10.2} b/s, {:>4.0} % | {:>16.0} % | {:>16.0} %",
+            snr_db,
+            buzz_rate / n,
+            buzz_loss / n * 100.0,
+            tdma_loss / n * 100.0,
+            cdma_loss / n * 100.0
+        );
+    }
+
+    println!(
+        "\nBuzz keeps delivering every message by letting its aggregate rate fall\n\
+         below 1 bit/symbol, while the fixed-rate baselines start losing messages."
+    );
+    Ok(())
+}

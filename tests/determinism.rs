@@ -1,0 +1,79 @@
+//! Reproducibility guarantees across crate boundaries.
+//!
+//! Every experiment in the harness is identified by (scenario seed, noise
+//! seed); these tests pin the property that the same pair always produces the
+//! same protocol behaviour, and that tag-side and reader-side pseudorandom
+//! reconstructions agree.
+
+use buzz_suite::codes::SparseBinaryMatrix;
+use buzz_suite::prng::{NodeSeed, Rng64, SplitMix64, Xoshiro256};
+use buzz_suite::protocol::protocol::{BuzzConfig, BuzzProtocol};
+use buzz_suite::protocol::rateless::ParticipationCode;
+use buzz_suite::sim::scenario::{Scenario, ScenarioConfig};
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = || {
+        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(6, 314)).unwrap();
+        BuzzProtocol::new(BuzzConfig::default())
+            .unwrap()
+            .run(&mut scenario, 159)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.transfer.slots_used, b.transfer.slots_used);
+    assert_eq!(a.transfer.decoded_payloads, b.transfer.decoded_payloads);
+    assert_eq!(a.correct_messages, b.correct_messages);
+    assert_eq!(
+        a.identification.as_ref().unwrap().assignments,
+        b.identification.as_ref().unwrap().assignments
+    );
+    assert_eq!(a.per_tag_energy_j, b.per_tag_energy_j);
+}
+
+#[test]
+fn different_noise_seeds_only_change_the_noise() {
+    let mut s1 = Scenario::build(ScenarioConfig::paper_uplink(6, 2718)).unwrap();
+    let mut s2 = Scenario::build(ScenarioConfig::paper_uplink(6, 2718)).unwrap();
+    // Channels, placements and messages are identical across the two builds.
+    for (a, b) in s1.tags().iter().zip(s2.tags()) {
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.global_id, b.global_id);
+    }
+    let protocol = BuzzProtocol::new(BuzzConfig::default()).unwrap();
+    let a = protocol.run(&mut s1, 1).unwrap();
+    let b = protocol.run(&mut s2, 2).unwrap();
+    // Both runs deliver everything; slot counts may differ slightly.
+    assert_eq!(a.correct_messages, 6);
+    assert_eq!(b.correct_messages, 6);
+}
+
+#[test]
+fn tag_and_reader_reconstruct_the_same_participation_matrix() {
+    // The reader rebuilds D from temporary ids alone; the tags make their
+    // per-slot decisions independently.  Both must agree bit for bit.
+    let code = ParticipationCode::for_k(10).unwrap();
+    let temp_ids: Vec<u64> = (0..10u64).map(|i| SplitMix64::mix(i, 0xfeed)).collect();
+    let seeds: Vec<NodeSeed> = temp_ids.iter().map(|&id| NodeSeed(id)).collect();
+    let reader_matrix = SparseBinaryMatrix::from_seeds(64, &seeds, code.probability());
+    for (col, &id) in temp_ids.iter().enumerate() {
+        for slot in 0..64u64 {
+            let tag_decision = code.participates(NodeSeed(id), slot);
+            assert_eq!(reader_matrix.get(slot as usize, col), tag_decision);
+        }
+    }
+}
+
+#[test]
+fn generators_are_stable_across_invocations() {
+    // The PRNG streams are part of the "protocol wire format": a regression
+    // here would silently break tag/reader agreement, so pin a few values.
+    let mut rng = Xoshiro256::seed_from_u64(0xb077_2012u64);
+    let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    let mut rng2 = Xoshiro256::seed_from_u64(0xb077_2012u64);
+    let second: Vec<u64> = (0..4).map(|_| rng2.next_u64()).collect();
+    assert_eq!(first, second);
+    assert!(NodeSeed(42).participates_in_slot(7, 0.5) == NodeSeed(42).participates_in_slot(7, 0.5));
+}
