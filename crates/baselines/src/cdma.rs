@@ -74,7 +74,11 @@ impl CdmaTransfer {
     /// Returns [`BaselineError::InvalidParameter`] for an empty tag set or a
     /// medium that does not cover every tag, and propagates coding/medium
     /// errors.
-    pub fn run(&self, tags: &[SimTag], medium: &mut Medium) -> BaselineResult<BaselineTransferOutcome> {
+    pub fn run(
+        &self,
+        tags: &[SimTag],
+        medium: &mut Medium,
+    ) -> BaselineResult<BaselineTransferOutcome> {
         if tags.is_empty() {
             return Err(BaselineError::InvalidParameter("no tags to transfer from"));
         }
@@ -233,7 +237,11 @@ mod tests {
         let mut medium = scenario.medium(2).unwrap();
         let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
         let out = cdma.run(scenario.tags(), &mut medium).unwrap();
-        assert!(out.delivered_count() >= 3, "delivered {}", out.delivered_count());
+        assert!(
+            out.delivered_count() >= 3,
+            "delivered {}",
+            out.delivered_count()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl IdentificationReport {
 /// # Errors
 ///
 /// Propagates Gen-2 configuration errors.
-pub fn fsa_identification(scenario: &Scenario, run_seed: u64) -> BaselineResult<IdentificationReport> {
+pub fn fsa_identification(
+    scenario: &Scenario,
+    run_seed: u64,
+) -> BaselineResult<IdentificationReport> {
     let sim = FsaSimulator::new(FsaConfig::standard())?;
     let seeds: Vec<u64> = scenario
         .tags()

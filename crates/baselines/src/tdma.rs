@@ -63,7 +63,11 @@ impl TdmaTransfer {
     ///
     /// Returns [`BaselineError::InvalidParameter`] for an empty tag set, and
     /// propagates medium errors.
-    pub fn run(&self, tags: &[SimTag], medium: &mut Medium) -> BaselineResult<BaselineTransferOutcome> {
+    pub fn run(
+        &self,
+        tags: &[SimTag],
+        medium: &mut Medium,
+    ) -> BaselineResult<BaselineTransferOutcome> {
         if tags.is_empty() {
             return Err(BaselineError::InvalidParameter("no tags to transfer from"));
         }
@@ -230,7 +234,10 @@ mod tests {
                 any_loss = true;
             }
         }
-        assert!(any_loss, "TDMA never lost a message even at 0 dB median SNR");
+        assert!(
+            any_loss,
+            "TDMA never lost a message even at 0 dB median SNR"
+        );
     }
 
     #[test]

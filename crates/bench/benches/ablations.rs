@@ -58,7 +58,9 @@ fn bench_bucket_pruning(c: &mut Criterion) {
     let pruned_space = 64usize; // ≈ a·K after discarding empty buckets
     let m = 2 * k * 7;
     let mut rng = Xoshiro256::seed_from_u64(11);
-    let actives: Vec<usize> = (0..k).map(|_| rng.next_bounded(pruned_space as u64) as usize).collect();
+    let actives: Vec<usize> = (0..k)
+        .map(|_| rng.next_bounded(pruned_space as u64) as usize)
+        .collect();
 
     let build = |n: usize| -> (SparseBinaryMatrix, Vec<Complex>) {
         let seeds: Vec<NodeSeed> = (0..n as u64).map(|i| NodeSeed(9_000 + i)).collect();

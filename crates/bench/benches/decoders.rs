@@ -15,7 +15,12 @@ use sparse_recovery::omp::{OmpConfig, OmpSolver};
 fn build_bp_problem(k: usize, slots: usize) -> BitFlippingDecoder {
     let mut rng = Xoshiro256::seed_from_u64(99);
     let channels: Vec<Complex> = (0..k)
-        .map(|_| Complex::from_polar(0.4 + rng.next_f64(), rng.next_f64() * core::f64::consts::TAU))
+        .map(|_| {
+            Complex::from_polar(
+                0.4 + rng.next_f64(),
+                rng.next_f64() * core::f64::consts::TAU,
+            )
+        })
         .collect();
     let frames: Vec<Vec<bool>> = (0..k)
         .map(|i| Message::standard_32bit(500 + i as u64).unwrap().framed())

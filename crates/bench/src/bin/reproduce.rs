@@ -66,15 +66,12 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&reports) {
-            Ok(json) => {
-                if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
-                    eprintln!("failed to write {path}: {e}");
-                } else {
-                    println!("wrote {path}");
-                }
-            }
-            Err(e) => eprintln!("failed to serialize results: {e}"),
+        let json = buzz_bench::report::reports_to_json(&reports);
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))
+        {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
         }
+        println!("wrote {path}");
     }
 }

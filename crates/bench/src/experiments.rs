@@ -66,7 +66,12 @@ pub fn fig2_3(base_seed: u64) -> ExperimentReport {
         "fig2-3",
         "Collision waveform levels and constellation sizes",
         "1 tag -> 2 levels / 2 constellation points; 2 tags -> 4 levels / 4 points",
-        &["tags", "distinct levels", "constellation points", "min distance"],
+        &[
+            "tags",
+            "distinct levels",
+            "constellation points",
+            "min distance",
+        ],
     );
     let mut rng = Xoshiro256::seed_from_u64(base_seed);
     for &num_tags in &[1usize, 2, 3] {
@@ -122,9 +127,7 @@ pub fn fig2_3(base_seed: u64) -> ExperimentReport {
             min_distance,
         ]);
     }
-    report.push_finding(
-        "constellation density doubles with each additional colliding tag".into(),
-    );
+    report.push_finding("constellation density doubles with each additional colliding tag".into());
     report
 }
 
@@ -169,15 +172,13 @@ pub fn fig8() -> ExperimentReport {
     let symbol_us = 12.5;
     let fast = ClockModel::new(1_560.0);
     let slow = ClockModel::new(-1_560.0);
-    let uncorrected = (fast.accumulated_drift_us(2_000.0) - slow.accumulated_drift_us(2_000.0))
-        .abs()
-        / symbol_us;
+    let uncorrected =
+        (fast.accumulated_drift_us(2_000.0) - slow.accumulated_drift_us(2_000.0)).abs() / symbol_us;
     let corr_fast = DriftCorrection::calibrate(fast, 10_000.0, 1.0e6).expect("calibrate");
     let corr_slow = DriftCorrection::calibrate(slow, 10_000.0, 1.0e6).expect("calibrate");
-    let corrected = (corr_fast.residual_ppm(fast) - corr_slow.residual_ppm(slow)).abs()
-        * 1e-6
-        * 2_000.0
-        / symbol_us;
+    let corrected =
+        (corr_fast.residual_ppm(fast) - corr_slow.residual_ppm(slow)).abs() * 1e-6 * 2_000.0
+            / symbol_us;
     report.push_row(vec!["without".into(), format!("{uncorrected:.3}")]);
     report.push_row(vec!["with".into(), format!("{corrected:.3}")]);
     report.push_finding(format!(
@@ -194,7 +195,12 @@ pub fn fig9(base_seed: u64) -> ExperimentReport {
         "fig9",
         "Decoding progress for 14 tags (96-bit messages)",
         "11 of 14 decoded within ~4 slots; all 14 within ~10; final rate ~1.4 bits/symbol",
-        &["slot", "newly decoded", "already decoded", "bits/symbol so far"],
+        &[
+            "slot",
+            "newly decoded",
+            "already decoded",
+            "bits/symbol so far",
+        ],
     );
     let mut config = ScenarioConfig::paper_uplink(14, base_seed);
     config.message_bits = 96;
@@ -249,7 +255,8 @@ fn run_uplink_comparison(k: usize, locations: u64, base_seed: u64) -> UplinkComp
     let mut runs = 0.0;
     for location in 0..locations {
         let seed = base_seed + location * 37 + k as u64;
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
+        let mut scenario =
+            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
         for trace in 0..2u64 {
             runs += 1.0;
             let buzz = BuzzProtocol::new(BuzzConfig {
@@ -292,7 +299,13 @@ pub fn fig10(locations: u64, base_seed: u64) -> ExperimentReport {
         "fig10",
         "Total data transfer time vs number of tags",
         "Buzz finishes in about half the time of TDMA/CDMA (~2x aggregate rate)",
-        &["K", "Buzz (ms)", "TDMA (ms)", "CDMA (ms)", "Buzz bits/symbol"],
+        &[
+            "K",
+            "Buzz (ms)",
+            "TDMA (ms)",
+            "CDMA (ms)",
+            "Buzz bits/symbol",
+        ],
     );
     let mut total_gain = 0.0;
     let ks = [4usize, 8, 12, 16];
@@ -425,7 +438,11 @@ pub fn fig13(locations: u64, base_seed: u64) -> ExperimentReport {
                 ..BuzzConfig::default()
             })
             .expect("protocol");
-            buzz_uj += buzz.run(&mut scenario, location).expect("buzz run").mean_energy_j() * 1e6;
+            buzz_uj += buzz
+                .run(&mut scenario, location)
+                .expect("buzz run")
+                .mean_energy_j()
+                * 1e6;
 
             let energy_of = |transitions: &[u64], active: &[f64]| -> f64 {
                 transitions
@@ -495,7 +512,9 @@ pub fn fig14(locations: u64, base_seed: u64) -> ExperimentReport {
             if ident.is_exact() {
                 exact += 1;
             }
-            fsa_ms += fsa_identification(&scenario, location).expect("fsa").time_ms;
+            fsa_ms += fsa_identification(&scenario, location)
+                .expect("fsa")
+                .time_ms;
             fsa_k_ms += fsa_with_known_k(&scenario, ident.k_estimate.k_rounded(), location)
                 .expect("fsa+k")
                 .time_ms;
@@ -533,8 +552,7 @@ pub fn lemma51(base_seed: u64) -> ExperimentReport {
             let mut sum_err = 0.0;
             let mut sum_j = 0.0;
             for t in 0..trials {
-                let mut est =
-                    KEstimator::new(KEstimatorConfig::precise(s)).expect("estimator");
+                let mut est = KEstimator::new(KEstimatorConfig::precise(s)).expect("estimator");
                 let mut rng = Xoshiro256::seed_from_u64(base_seed + t * 977 + k as u64 + s as u64);
                 let estimate = loop {
                     let p = est.next_probability().expect("probability");
@@ -561,7 +579,9 @@ pub fn lemma51(base_seed: u64) -> ExperimentReport {
             ]);
         }
     }
-    report.push_finding("relative error shrinks with more slots per step, as the lemma predicts".into());
+    report.push_finding(
+        "relative error shrinks with more slots per step, as the lemma predicts".into(),
+    );
     report
 }
 
@@ -582,7 +602,8 @@ pub fn headline(locations: u64, base_seed: u64) -> ExperimentReport {
     let mut runs = 0.0;
     for location in 0..locations {
         let seed = base_seed + location * 211;
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
+        let mut scenario =
+            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
         runs += 1.0;
         let outcome = BuzzProtocol::new(BuzzConfig::default())
             .expect("protocol")
@@ -591,10 +612,15 @@ pub fn headline(locations: u64, base_seed: u64) -> ExperimentReport {
         buzz_ident += outcome.identification.as_ref().expect("ident").time_ms;
         buzz_data += outcome.transfer.time_ms;
 
-        gen2_ident += fsa_identification(&scenario, location).expect("fsa").time_ms;
+        gen2_ident += fsa_identification(&scenario, location)
+            .expect("fsa")
+            .time_ms;
         let tdma = TdmaTransfer::new(TdmaConfig::default()).expect("tdma");
         let mut medium = scenario.medium(location).expect("medium");
-        gen2_data += tdma.run(scenario.tags(), &mut medium).expect("tdma run").time_ms;
+        gen2_data += tdma
+            .run(scenario.tags(), &mut medium)
+            .expect("tdma run")
+            .time_ms;
     }
     let buzz_total = (buzz_ident + buzz_data) / runs;
     let gen2_total = (gen2_ident + gen2_data) / runs;
@@ -644,7 +670,10 @@ mod tests {
     fn table12_reproduces_paper_probabilities() {
         let r = table12();
         assert_eq!(r.rows.len(), 10);
-        assert!(r.findings.iter().any(|f| f.contains("0.250") && f.contains("0.333")));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.contains("0.250") && f.contains("0.333")));
     }
 
     #[test]

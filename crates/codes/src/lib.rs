@@ -92,10 +92,7 @@ pub fn u64_to_bits(value: u64, width: usize) -> CodeResult<Vec<bool>> {
     if width > 64 {
         return Err(CodeError::InvalidParameter("width above 64 bits"));
     }
-    Ok((0..width)
-        .rev()
-        .map(|i| (value >> i) & 1 == 1)
-        .collect())
+    Ok((0..width).rev().map(|i| (value >> i) & 1 == 1).collect())
 }
 
 #[cfg(test)]
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn bit_packing_validates_width() {
         assert!(u64_to_bits(0, 65).is_err());
-        assert!(bits_to_u64(&vec![false; 65]).is_err());
+        assert!(bits_to_u64(&[false; 65]).is_err());
         assert_eq!(bits_to_u64(&[]).unwrap(), 0);
         assert_eq!(u64_to_bits(5, 0).unwrap(), Vec::<bool>::new());
     }

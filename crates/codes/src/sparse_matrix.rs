@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn from_ones_builds_both_indices() {
-        let m =
-            SparseBinaryMatrix::from_ones(3, 3, &[(0, 0), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let m = SparseBinaryMatrix::from_ones(3, 3, &[(0, 0), (1, 0), (1, 2), (2, 1)]).unwrap();
         assert_eq!(m.row(1), &[0, 2]);
         assert_eq!(m.col(0), &[0, 1]);
         assert_eq!(m.nnz(), 4);
@@ -311,7 +310,11 @@ mod tests {
     fn density_tracks_probability() {
         let seeds: Vec<NodeSeed> = (0..50).map(NodeSeed).collect();
         let m = SparseBinaryMatrix::from_seeds(200, &seeds, 0.2);
-        assert!((m.density() - 0.2).abs() < 0.03, "density = {}", m.density());
+        assert!(
+            (m.density() - 0.2).abs() < 0.03,
+            "density = {}",
+            m.density()
+        );
     }
 
     #[test]
@@ -328,8 +331,7 @@ mod tests {
 
     #[test]
     fn select_columns_produces_reduced_matrix() {
-        let m =
-            SparseBinaryMatrix::from_ones(3, 4, &[(0, 0), (0, 3), (1, 1), (2, 3)]).unwrap();
+        let m = SparseBinaryMatrix::from_ones(3, 4, &[(0, 0), (0, 3), (1, 1), (2, 3)]).unwrap();
         let reduced = m.select_columns(&[3, 1]).unwrap();
         assert_eq!(reduced.cols(), 2);
         assert!(reduced.get(0, 0)); // old column 3, row 0
@@ -341,8 +343,7 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_dense_computation() {
-        let m =
-            SparseBinaryMatrix::from_ones(2, 3, &[(0, 0), (0, 2), (1, 1)]).unwrap();
+        let m = SparseBinaryMatrix::from_ones(2, 3, &[(0, 0), (0, 2), (1, 1)]).unwrap();
         let y = m.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(y, vec![4.0, 2.0]);
         assert!(m.mul_vec(&[1.0]).is_err());

@@ -81,13 +81,10 @@ impl WalshCode {
     ///
     /// Returns [`CodeError::IndexOutOfRange`] for an index ≥ spreading factor.
     pub fn chips(&self, index: usize) -> CodeResult<Vec<i8>> {
-        let row = self
-            .rows
-            .get(index)
-            .ok_or(CodeError::IndexOutOfRange {
-                index,
-                bound: self.spreading_factor,
-            })?;
+        let row = self.rows.get(index).ok_or(CodeError::IndexOutOfRange {
+            index,
+            bound: self.spreading_factor,
+        })?;
         Ok(row.iter().map(|&b| if b { 1 } else { -1 }).collect())
     }
 
@@ -116,7 +113,7 @@ impl WalshCode {
     /// whole number of spreading periods, or [`CodeError::IndexOutOfRange`]
     /// for a bad code index.
     pub fn despread(&self, index: usize, received: &[f64]) -> CodeResult<Vec<f64>> {
-        if received.len() % self.spreading_factor != 0 {
+        if !received.len().is_multiple_of(self.spreading_factor) {
             return Err(CodeError::LengthMismatch {
                 expected: (received.len() / self.spreading_factor + 1) * self.spreading_factor,
                 actual: received.len(),
@@ -174,6 +171,28 @@ mod tests {
                     assert_eq!(dot, 16);
                 } else {
                     assert_eq!(dot, 0, "codes {i} and {j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// For any order 2^1..=2^7, *all* pairs of Walsh codewords are
+        /// mutually orthogonal and each codeword has full self-correlation.
+        #[test]
+        fn all_orders_yield_mutually_orthogonal_codewords(sf_exp in 1u32..8) {
+            let sf = 1usize << sf_exp;
+            let w = WalshCode::new(sf).unwrap();
+            let chips: Vec<Vec<i8>> = (0..sf).map(|i| w.chips(i).unwrap()).collect();
+            for i in 0..sf {
+                for j in 0..sf {
+                    let dot: i32 = chips[i]
+                        .iter()
+                        .zip(&chips[j])
+                        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                        .sum();
+                    let expected = if i == j { sf as i32 } else { 0 };
+                    proptest::prop_assert_eq!(dot, expected, "order {}, pair ({}, {})", sf, i, j);
                 }
             }
         }

@@ -241,8 +241,7 @@ impl BitFlippingDecoder {
                         .map(|&j| per_slot_residual[j])
                         .sum::<f64>()
                         / slots_of_node.len() as f64;
-                    mean_residual
-                        <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
+                    mean_residual <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
                 };
                 let stable_ok = own_fit_ok
                     && match &self.previous_candidates[node] {
@@ -351,11 +350,7 @@ impl BitFlippingDecoder {
                 let active: Vec<usize> = cols
                     .iter()
                     .copied()
-                    .filter(|&i| {
-                        self.locked[i]
-                            .as_ref()
-                            .is_some_and(|frame| frame[pos])
-                    })
+                    .filter(|&i| self.locked[i].as_ref().is_some_and(|frame| frame[pos]))
                     .collect();
                 for &i in &active {
                     let Some(ii) = index_of(i) else { continue };
@@ -385,9 +380,7 @@ impl BitFlippingDecoder {
             let candidate = refit[slot_in_refit];
             // Ignore degenerate refits (a node that appears in very few
             // locked-only symbols can be poorly determined).
-            if candidate.is_finite()
-                && gram_real[slot_in_refit][slot_in_refit] >= (2 * p) as f64
-            {
+            if candidate.is_finite() && gram_real[slot_in_refit][slot_in_refit] >= (2 * p) as f64 {
                 self.channels[node] = candidate;
             }
         }
@@ -444,7 +437,7 @@ impl BitFlippingDecoder {
                     }
                     joint_gain += residual[j].norm_sqr() - (residual[j] - delta).norm_sqr();
                 }
-                if joint_gain > 1e-9 && best.as_ref().map_or(true, |(g, _)| joint_gain > *g) {
+                if joint_gain > 1e-9 && best.as_ref().is_none_or(|(g, _)| joint_gain > *g) {
                     best = Some((joint_gain, vec![i, l]));
                 }
             }
@@ -500,7 +493,7 @@ impl BitFlippingDecoder {
         let mut best: Option<(f64, Vec<bool>)> = None;
         for restart in 0..RESTARTS {
             let (error, bits) = self.decode_position_once(position, restart);
-            if best.as_ref().map_or(true, |(e, _)| error < *e) {
+            if best.as_ref().is_none_or(|(e, _)| error < *e) {
                 best = Some((error, bits));
             }
             // A (near-)zero residual cannot be improved.
@@ -653,7 +646,11 @@ mod tests {
     ) -> (BitFlippingDecoder, Vec<Vec<bool>>) {
         let k = channels.len();
         let frames: Vec<Vec<bool>> = (0..k)
-            .map(|i| Message::standard_32bit(seed * 100 + i as u64).unwrap().framed())
+            .map(|i| {
+                Message::standard_32bit(seed * 100 + i as u64)
+                    .unwrap()
+                    .framed()
+            })
             .collect();
         let message_bits = frames[0].len();
         let mut decoder =
@@ -725,7 +722,10 @@ mod tests {
         let (mut decoder, frames) = make_problem(&channels, 1, 1.0, 0.0, 1);
         let state = decoder.decode().unwrap();
         assert!(state.all_decoded());
-        assert_eq!(state.decoded_payloads[0].as_ref().unwrap(), &frames[0][..32]);
+        assert_eq!(
+            state.decoded_payloads[0].as_ref().unwrap(),
+            &frames[0][..32]
+        );
         assert_eq!(state.newly_decoded, vec![0]);
     }
 
@@ -810,7 +810,11 @@ mod tests {
         // Progress is monotone and reaches everyone well before 30 slots.
         assert!(decoded_after.windows(2).all(|w| w[1] >= w[0]));
         assert_eq!(*decoded_after.last().unwrap(), k);
-        assert!(decoded_after.len() < 30, "took {} slots", decoded_after.len());
+        assert!(
+            decoded_after.len() < 30,
+            "took {} slots",
+            decoded_after.len()
+        );
     }
 
     #[test]

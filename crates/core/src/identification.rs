@@ -102,9 +102,9 @@ impl IdentificationConfig {
         if self.max_rounds == 0 {
             return Err(BuzzError::InvalidParameter("max rounds must be non-zero"));
         }
-        self.timing.validate().map_err(|_| {
-            BuzzError::InvalidParameter("link timing is invalid")
-        })?;
+        self.timing
+            .validate()
+            .map_err(|_| BuzzError::InvalidParameter("link timing is invalid"))?;
         Ok(())
     }
 }
@@ -140,7 +140,7 @@ impl IdentificationSlots {
 }
 
 /// The result of running the identification protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdentificationOutcome {
     /// The stage-1 estimate of `K`.
     pub k_estimate: KEstimate,
@@ -281,9 +281,7 @@ impl Identifier {
             assignments = scenario
                 .tags()
                 .iter()
-                .map(|t| {
-                    SplitMix64::mix(t.global_id, 0xa11_0c8 ^ round as u64) % id_space.size()
-                })
+                .map(|t| SplitMix64::mix(t.global_id, 0xa11_0c8 ^ round as u64) % id_space.size())
                 .collect();
             let mut unique = assignments.clone();
             unique.sort_unstable();
@@ -384,7 +382,11 @@ impl Identifier {
                 medium.noise_power(),
                 4.0,
             )?;
-            let max_mag = solution.values.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            let max_mag = solution
+                .values
+                .iter()
+                .map(|v| v.abs())
+                .fold(0.0f64, f64::max);
             discovered = solution
                 .support
                 .iter()
@@ -465,24 +467,35 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(IdentificationConfig::default().validate().is_ok());
-        let mut c = IdentificationConfig::default();
-        c.c = 0;
-        assert!(c.validate().is_err());
-        let mut c = IdentificationConfig::default();
-        c.measurement_factor = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = IdentificationConfig::default();
-        c.sensing_probability = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = IdentificationConfig::default();
-        c.prune_fraction = 1.5;
-        assert!(c.validate().is_err());
-        let mut c = IdentificationConfig::default();
-        c.max_rounds = 0;
-        assert!(c.validate().is_err());
-        let mut c = IdentificationConfig::default();
-        c.ids_per_bucket = Some(0);
-        assert!(c.validate().is_err());
+        let bad = [
+            IdentificationConfig {
+                c: 0,
+                ..IdentificationConfig::default()
+            },
+            IdentificationConfig {
+                measurement_factor: 0.0,
+                ..IdentificationConfig::default()
+            },
+            IdentificationConfig {
+                sensing_probability: 0.0,
+                ..IdentificationConfig::default()
+            },
+            IdentificationConfig {
+                prune_fraction: 1.5,
+                ..IdentificationConfig::default()
+            },
+            IdentificationConfig {
+                max_rounds: 0,
+                ..IdentificationConfig::default()
+            },
+            IdentificationConfig {
+                ids_per_bucket: Some(0),
+                ..IdentificationConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

@@ -134,7 +134,9 @@ mod tests {
         assert!(e.to_string().contains("sparse recovery"));
         let e: BuzzError = backscatter_codes::CodeError::InvalidParameter("y").into();
         assert!(e.to_string().contains("coding"));
-        assert!(BuzzError::IdentificationFailed.to_string().contains("identification"));
+        assert!(BuzzError::IdentificationFailed
+            .to_string()
+            .contains("identification"));
         assert!(BuzzError::TransferStalled {
             decoded: 1,
             expected: 4

@@ -66,13 +66,19 @@ impl SampleSet {
     /// Minimum (0.0 when empty).
     #[must_use]
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::MAX, f64::min).min(f64::MAX)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::MAX, f64::min)
     }
 
     /// Maximum (0.0 when empty).
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::MIN, f64::max)
     }
 
     /// Sample standard deviation (0.0 for fewer than two samples).

@@ -26,7 +26,11 @@ pub struct BuzzConfig {
 }
 
 /// The result of one full protocol run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including float fields exactly), so
+/// outcome equality is the bit-identical determinism contract the
+/// integration tests and benchmarks rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuzzOutcome {
     /// The identification phase result (`None` in periodic mode).
     pub identification: Option<IdentificationOutcome>,
@@ -211,7 +215,10 @@ mod tests {
             periodic_mode: true,
             ..BuzzConfig::default()
         };
-        let outcome = BuzzProtocol::new(config).unwrap().run(&mut scenario, 5).unwrap();
+        let outcome = BuzzProtocol::new(config)
+            .unwrap()
+            .run(&mut scenario, 5)
+            .unwrap();
         assert!(outcome.identification.is_none());
         assert_eq!(outcome.correct_messages, 6);
         assert!(outcome.total_time_ms() > 0.0);

@@ -72,7 +72,7 @@ impl TransferConfig {
 }
 
 /// The outcome of one data-transfer phase.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferOutcome {
     /// Number of collision slots used (`L`).
     pub slots_used: usize,
@@ -326,12 +326,19 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TransferConfig::default().validate().is_ok());
-        let mut c = TransferConfig::default();
-        c.target_collision_size = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = TransferConfig::default();
-        c.budget_factor = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            TransferConfig {
+                target_collision_size: 0.0,
+                ..TransferConfig::default()
+            },
+            TransferConfig {
+                budget_factor: 0,
+                ..TransferConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]
@@ -349,7 +356,9 @@ mod tests {
             let (scenario, discovered) = genie_setup(k, 20 + k as u64);
             let mut medium = scenario.medium(5).unwrap();
             let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
-            let outcome = transfer.run(scenario.tags(), &discovered, &mut medium).unwrap();
+            let outcome = transfer
+                .run(scenario.tags(), &discovered, &mut medium)
+                .unwrap();
             assert!(outcome.complete, "k = {k}: incomplete");
             assert_eq!(outcome.decoded_count(), k);
             assert_eq!(outcome.loss_rate(), 0.0);
@@ -363,7 +372,9 @@ mod tests {
         let (scenario, discovered) = genie_setup(8, 31);
         let mut medium = scenario.medium(3).unwrap();
         let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
-        let outcome = transfer.run(scenario.tags(), &discovered, &mut medium).unwrap();
+        let outcome = transfer
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
         assert!(outcome.complete);
         assert!(
             outcome.bits_per_symbol() > 1.0,
@@ -389,7 +400,9 @@ mod tests {
         }
         let mut medium = scenario.medium(77).unwrap();
         let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
-        let outcome = transfer.run(scenario.tags(), &discovered, &mut medium).unwrap();
+        let outcome = transfer
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
         assert!(outcome.complete, "did not finish in challenging channel");
         assert_eq!(outcome.loss_rate(), 0.0);
         assert!(outcome.slots_used >= 4, "used {} slots", outcome.slots_used);
@@ -400,7 +413,9 @@ mod tests {
         let (scenario, discovered) = genie_setup(8, 41);
         let mut medium = scenario.medium(11).unwrap();
         let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
-        let outcome = transfer.run(scenario.tags(), &discovered, &mut medium).unwrap();
+        let outcome = transfer
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
         assert_eq!(outcome.newly_decoded_per_slot.len(), outcome.slots_used);
         let cumulative = outcome.cumulative_decoded_per_slot();
         assert_eq!(*cumulative.last().unwrap(), outcome.decoded_count());
@@ -424,7 +439,9 @@ mod tests {
         discovered.pop();
         let mut medium = scenario.medium(13).unwrap();
         let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
-        let outcome = transfer.run(scenario.tags(), &discovered, &mut medium).unwrap();
+        let outcome = transfer
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
         assert_eq!(outcome.decoded_payloads.len(), 5);
         let (correct, _) = score_against_truth(&outcome, &discovered, scenario.tags());
         assert!(correct >= 3, "only {correct} of 5 decoded correctly");

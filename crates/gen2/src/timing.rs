@@ -46,13 +46,17 @@ impl LinkTiming {
     /// negative gaps.
     pub fn validate(&self) -> Gen2Result<()> {
         if !(self.downlink_bps > 0.0 && self.downlink_bps.is_finite()) {
-            return Err(Gen2Error::InvalidParameter("downlink rate must be positive"));
+            return Err(Gen2Error::InvalidParameter(
+                "downlink rate must be positive",
+            ));
         }
         if !(self.uplink_bps > 0.0 && self.uplink_bps.is_finite()) {
             return Err(Gen2Error::InvalidParameter("uplink rate must be positive"));
         }
         if self.t1_s < 0.0 || self.t2_s < 0.0 {
-            return Err(Gen2Error::InvalidParameter("turnaround gaps must be non-negative"));
+            return Err(Gen2Error::InvalidParameter(
+                "turnaround gaps must be non-negative",
+            ));
         }
         Ok(())
     }

@@ -160,7 +160,8 @@ impl ChannelModel {
     /// Draws the single-tap channel coefficient for a tag at `distance_m`
     /// meters from the reader.
     pub fn draw(&mut self, distance_m: f64) -> Channel {
-        let mean_amplitude = self.path_loss.amplitude_gain(distance_m) * self.backscatter_efficiency;
+        let mean_amplitude =
+            self.path_loss.amplitude_gain(distance_m) * self.backscatter_efficiency;
         let phase = self.rng.next_f64() * 2.0 * core::f64::consts::PI;
         let coefficient = match self.fading {
             FadingModel::None => Complex::from_polar(mean_amplitude, phase),
@@ -254,9 +255,7 @@ pub fn near_far_spread_db(channels: &[Channel]) -> PhyResult<f64> {
     let max = channels.iter().map(Channel::power).fold(f64::MIN, f64::max);
     let min = channels.iter().map(Channel::power).fold(f64::MAX, f64::min);
     if min <= 0.0 {
-        return Err(PhyError::InvalidParameter(
-            "weakest channel has zero power",
-        ));
+        return Err(PhyError::InvalidParameter("weakest channel has zero power"));
     }
     Ok(10.0 * (max / min).log10())
 }
@@ -272,7 +271,9 @@ mod tests {
 
     #[test]
     fn free_space_round_trip_falls_as_distance_squared_in_amplitude() {
-        let pl = PathLoss::FreeSpaceRoundTrip { wavelength_m: 0.324 };
+        let pl = PathLoss::FreeSpaceRoundTrip {
+            wavelength_m: 0.324,
+        };
         let g1 = pl.amplitude_gain(1.0);
         let g2 = pl.amplitude_gain(2.0);
         // Round-trip amplitude falls as 1/d^2 => doubling distance quarters it.
@@ -293,7 +294,9 @@ mod tests {
 
     #[test]
     fn distance_is_clamped() {
-        let pl = PathLoss::FreeSpaceRoundTrip { wavelength_m: 0.324 };
+        let pl = PathLoss::FreeSpaceRoundTrip {
+            wavelength_m: 0.324,
+        };
         assert!(pl.amplitude_gain(0.0).is_finite());
     }
 
@@ -301,10 +304,13 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(ChannelModel::new(1, PathLoss::None, FadingModel::None, 0.0).is_err());
         assert!(ChannelModel::new(1, PathLoss::None, FadingModel::None, 1.5).is_err());
-        assert!(
-            ChannelModel::new(1, PathLoss::None, FadingModel::Rician { k_factor: -1.0 }, 0.5)
-                .is_err()
-        );
+        assert!(ChannelModel::new(
+            1,
+            PathLoss::None,
+            FadingModel::Rician { k_factor: -1.0 },
+            0.5
+        )
+        .is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod sync;
 
 pub use channel::{Channel, ChannelModel, FadingModel, PathLoss};
 pub use complex::Complex;
-pub use linecode::{LineCode, Miller, Fm0};
+pub use linecode::{Fm0, LineCode, Miller};
 pub use modulation::{superpose, OnOffKeying};
 pub use noise::AwgnSource;
 pub use signal::{Constellation, IqTrace, PowerDetector, SlotObservation};
@@ -97,6 +97,8 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 4"));
         assert!(PhyError::Empty.to_string().contains("at least one"));
-        assert!(PhyError::InvalidParameter("snr").to_string().contains("snr"));
+        assert!(PhyError::InvalidParameter("snr")
+            .to_string()
+            .contains("snr"));
     }
 }

@@ -75,7 +75,7 @@ impl LineCode for Fm0 {
     }
 
     fn decode(&self, chips: &[bool]) -> PhyResult<Vec<bool>> {
-        if chips.len() % 2 != 0 {
+        if !chips.len().is_multiple_of(2) {
             return Err(PhyError::LengthMismatch {
                 expected: chips.len() + 1,
                 actual: chips.len(),
@@ -180,7 +180,7 @@ impl LineCode for Miller {
 
     fn decode(&self, chips: &[bool]) -> PhyResult<Vec<bool>> {
         let per = self.chips_per_bit();
-        if chips.len() % per != 0 {
+        if !chips.len().is_multiple_of(per) {
             return Err(PhyError::LengthMismatch {
                 expected: (chips.len() / per + 1) * per,
                 actual: chips.len(),

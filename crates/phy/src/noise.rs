@@ -133,8 +133,7 @@ mod tests {
         let target = 0.25;
         let mut n = AwgnSource::new(42, target).unwrap();
         let count = 200_000;
-        let measured: f64 =
-            (0..count).map(|_| n.sample().norm_sqr()).sum::<f64>() / count as f64;
+        let measured: f64 = (0..count).map(|_| n.sample().norm_sqr()).sum::<f64>() / count as f64;
         assert!(
             (measured - target).abs() / target < 0.05,
             "measured = {measured}"

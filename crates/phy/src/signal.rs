@@ -60,7 +60,7 @@ impl IqTrace {
         }
         let mut samples = Vec::with_capacity(symbols.len() * samples_per_symbol);
         for &s in symbols {
-            samples.extend(core::iter::repeat(s).take(samples_per_symbol));
+            samples.extend(std::iter::repeat_n(s, samples_per_symbol));
         }
         Self::new(samples, sample_rate_hz)
     }

@@ -166,11 +166,7 @@ impl DriftCorrection {
     ///
     /// Returns [`PhyError::InvalidParameter`] for non-positive interval or
     /// tick rate.
-    pub fn calibrate(
-        clock: ClockModel,
-        interval_us: f64,
-        tick_rate_hz: f64,
-    ) -> PhyResult<Self> {
+    pub fn calibrate(clock: ClockModel, interval_us: f64, tick_rate_hz: f64) -> PhyResult<Self> {
         if !(interval_us > 0.0 && tick_rate_hz > 0.0) {
             return Err(PhyError::InvalidParameter(
                 "calibration interval and tick rate must be positive",
@@ -260,8 +256,7 @@ mod tests {
         // tags produces that; model each tag at ±1560 ppm.
         let fast = ClockModel::new(1560.0);
         let slow = ClockModel::new(-1560.0);
-        let relative_us =
-            fast.accumulated_drift_us(2000.0) - slow.accumulated_drift_us(2000.0);
+        let relative_us = fast.accumulated_drift_us(2000.0) - slow.accumulated_drift_us(2000.0);
         let fraction = relative_us / 12.5;
         assert!((fraction - 0.5).abs() < 0.01, "fraction = {fraction}");
     }

@@ -191,8 +191,8 @@ mod tests {
         // With p = 0.5 over 256 slots, the two streams agreeing everywhere is
         // essentially impossible unless they alias.
         let seed = NodeSeed(55);
-        let same = (0..256u64)
-            .all(|s| seed.sensing_in_slot(s, 0.5) == seed.participates_in_slot(s, 0.5));
+        let same =
+            (0..256u64).all(|s| seed.sensing_in_slot(s, 0.5) == seed.participates_in_slot(s, 0.5));
         assert!(!same);
         // And the sensing stream is itself reproducible.
         for s in 0..64u64 {

@@ -195,7 +195,9 @@ impl TagBattery {
     /// capacitor), capped at `max_voltage_v`.
     pub fn harvest_j(&mut self, energy_j: f64, max_voltage_v: f64) {
         let stored = self.stored_j() + energy_j.max(0.0);
-        self.voltage_v = (2.0 * stored / self.capacitance_f).sqrt().min(max_voltage_v);
+        self.voltage_v = (2.0 * stored / self.capacitance_f)
+            .sqrt()
+            .min(max_voltage_v);
     }
 
     /// Whether the capacitor has fallen below the MCU's brown-out voltage

@@ -289,11 +289,7 @@ mod tests {
             occupancy_integration: 0,
             ..MediumConfig::default()
         };
-        assert!(Medium::new(
-            vec![Channel::from_coefficient(Complex::ONE)],
-            cfg
-        )
-        .is_err());
+        assert!(Medium::new(vec![Channel::from_coefficient(Complex::ONE)], cfg).is_err());
     }
 
     #[test]

@@ -239,11 +239,7 @@ impl Scenario {
     pub fn per_tag_snr_db(&self) -> Vec<f64> {
         self.tags
             .iter()
-            .map(|t| {
-                t.channel
-                    .snr_db(self.noise_power)
-                    .unwrap_or(f64::INFINITY)
-            })
+            .map(|t| t.channel.snr_db(self.noise_power).unwrap_or(f64::INFINITY))
             .collect()
     }
 
@@ -332,9 +328,7 @@ mod tests {
     fn challenging_scenario_has_lower_snr() {
         let good = Scenario::build(ScenarioConfig::paper_uplink(4, 7)).unwrap();
         let bad = Scenario::build(ScenarioConfig::challenging(4, 7, 6.0)).unwrap();
-        let mean = |s: &Scenario| {
-            s.per_tag_snr_db().iter().sum::<f64>() / s.tags().len() as f64
-        };
+        let mean = |s: &Scenario| s.per_tag_snr_db().iter().sum::<f64>() / s.tags().len() as f64;
         assert!(mean(&bad) < mean(&good));
     }
 

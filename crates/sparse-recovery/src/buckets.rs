@@ -31,9 +31,7 @@ impl BucketHasher {
     /// Returns [`RecoveryError::InvalidParameter`] for zero buckets.
     pub fn new(num_buckets: u64, round: u64) -> RecoveryResult<Self> {
         if num_buckets == 0 {
-            return Err(RecoveryError::InvalidParameter(
-                "need at least one bucket",
-            ));
+            return Err(RecoveryError::InvalidParameter("need at least one bucket"));
         }
         Ok(Self { num_buckets, round })
     }
@@ -107,7 +105,10 @@ mod tests {
         assert!(BucketHasher::new(0, 0).is_err());
         assert!(BucketHasher::for_buzz(0, 10, 0).is_err());
         assert!(BucketHasher::for_buzz(4, 0, 0).is_err());
-        assert_eq!(BucketHasher::for_buzz(16, 10, 0).unwrap().num_buckets(), 160);
+        assert_eq!(
+            BucketHasher::for_buzz(16, 10, 0).unwrap().num_buckets(),
+            160
+        );
     }
 
     #[test]

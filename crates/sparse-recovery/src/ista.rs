@@ -52,7 +52,9 @@ impl IstaConfig {
                 "max iterations must be non-zero",
             ));
         }
-        if !(self.convergence_tolerance > 0.0) {
+        // `<=` plus an explicit NaN check keeps the NaN-rejecting behavior of
+        // the original `!(x > 0.0)` form.
+        if self.convergence_tolerance <= 0.0 || self.convergence_tolerance.is_nan() {
             return Err(RecoveryError::InvalidParameter(
                 "convergence tolerance must be positive",
             ));
@@ -126,11 +128,7 @@ impl IstaSolver {
     /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not have one
     /// entry per row of `a`, or [`RecoveryError::InvalidParameter`] if the
     /// matrix has no columns.
-    pub fn solve(
-        &self,
-        a: &SparseBinaryMatrix,
-        y: &[Complex],
-    ) -> RecoveryResult<SparseSolution> {
+    pub fn solve(&self, a: &SparseBinaryMatrix, y: &[Complex]) -> RecoveryResult<SparseSolution> {
         if y.len() != a.rows() {
             return Err(RecoveryError::DimensionMismatch {
                 expected: a.rows(),
@@ -186,11 +184,7 @@ impl IstaSolver {
             }
         }
         let fit = Self::apply(a, &z);
-        let res_energy: f64 = y
-            .iter()
-            .zip(&fit)
-            .map(|(&m, &f)| (m - f).norm_sqr())
-            .sum();
+        let res_energy: f64 = y.iter().zip(&fit).map(|(&m, &f)| (m - f).norm_sqr()).sum();
         Ok(SparseSolution {
             support,
             values,
@@ -210,7 +204,9 @@ mod tests {
         rows: usize,
         seed: u64,
     ) -> (SparseBinaryMatrix, Vec<Complex>, Vec<usize>) {
-        let seeds: Vec<NodeSeed> = (0..n_cols).map(|i| NodeSeed(seed * 7_919 + i as u64)).collect();
+        let seeds: Vec<NodeSeed> = (0..n_cols)
+            .map(|i| NodeSeed(seed * 7_919 + i as u64))
+            .collect();
         let a = SparseBinaryMatrix::from_seeds(rows, &seeds, 0.5);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut support: Vec<usize> = Vec::new();
@@ -222,8 +218,10 @@ mod tests {
         }
         let mut y = vec![Complex::ZERO; rows];
         for &col in &support {
-            let val =
-                Complex::from_polar(0.5 + rng.next_f64(), rng.next_f64() * core::f64::consts::TAU);
+            let val = Complex::from_polar(
+                0.5 + rng.next_f64(),
+                rng.next_f64() * core::f64::consts::TAU,
+            );
             for &r in a.col(col) {
                 y[r] += val;
             }
@@ -257,7 +255,10 @@ mod tests {
 
     #[test]
     fn soft_threshold_behaviour() {
-        assert_eq!(IstaSolver::soft(Complex::new(0.05, 0.0), 0.1), Complex::ZERO);
+        assert_eq!(
+            IstaSolver::soft(Complex::new(0.05, 0.0), 0.1),
+            Complex::ZERO
+        );
         let shrunk = IstaSolver::soft(Complex::new(1.0, 0.0), 0.25);
         assert!((shrunk.re - 0.75).abs() < 1e-12);
         // Phase is preserved.

@@ -70,7 +70,9 @@ impl KEstimatorConfig {
             ));
         }
         if self.max_steps == 0 {
-            return Err(RecoveryError::InvalidParameter("max steps must be non-zero"));
+            return Err(RecoveryError::InvalidParameter(
+                "max steps must be non-zero",
+            ));
         }
         Ok(())
     }

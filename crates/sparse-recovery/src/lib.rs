@@ -82,9 +82,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(RecoveryError::SingularSystem.to_string().contains("singular"));
+        assert!(RecoveryError::SingularSystem
+            .to_string()
+            .contains("singular"));
         assert!(RecoveryError::NotReady.to_string().contains("not ready"));
-        assert!(RecoveryError::InvalidParameter("k").to_string().contains("k"));
+        assert!(RecoveryError::InvalidParameter("k")
+            .to_string()
+            .contains("k"));
         assert!(RecoveryError::DimensionMismatch {
             expected: 3,
             actual: 4

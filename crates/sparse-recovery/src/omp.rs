@@ -97,11 +97,7 @@ impl SparseSolution {
     /// protocol applies to reject spurious picks caused by OMP head-room.
     #[must_use]
     pub fn pruned(&self, fraction: f64) -> SparseSolution {
-        let max_mag = self
-            .values
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0f64, f64::max);
+        let max_mag = self.values.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         let threshold = max_mag * fraction.clamp(0.0, 1.0);
         let mut support = Vec::new();
         let mut values = Vec::new();
@@ -164,11 +160,7 @@ pub fn prune_insignificant(
         }
         let values = solve_least_squares(&sub, y)?;
         let fit = sub.mul_vec(&values)?;
-        let energy = y
-            .iter()
-            .zip(&fit)
-            .map(|(&m, &f)| (m - f).norm_sqr())
-            .sum();
+        let energy = y.iter().zip(&fit).map(|(&m, &f)| (m - f).norm_sqr()).sum();
         Ok((energy, values))
     };
 
@@ -185,7 +177,7 @@ pub fn prune_insignificant(
             without.remove(idx);
             let (energy_without, _) = residual_energy(&without)?;
             let contribution = energy_without - full_energy;
-            if weakest.map_or(true, |(_, c)| contribution < c) {
+            if weakest.is_none_or(|(_, c)| contribution < c) {
                 weakest = Some((idx, contribution));
             }
         }
@@ -234,11 +226,7 @@ impl OmpSolver {
     /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not have one
     /// entry per row of `a`, or [`RecoveryError::InvalidParameter`] if the
     /// matrix has no columns.
-    pub fn solve(
-        &self,
-        a: &SparseBinaryMatrix,
-        y: &[Complex],
-    ) -> RecoveryResult<SparseSolution> {
+    pub fn solve(&self, a: &SparseBinaryMatrix, y: &[Complex]) -> RecoveryResult<SparseSolution> {
         if y.len() != a.rows() {
             return Err(RecoveryError::DimensionMismatch {
                 expected: a.rows(),
@@ -278,7 +266,7 @@ impl OmpSolver {
                 }
                 let corr: Complex = rows.iter().map(|&r| residual[r]).sum();
                 let score = corr.abs() / (rows.len() as f64).sqrt();
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((col, score));
                 }
             }
@@ -337,7 +325,9 @@ mod tests {
         seed: u64,
         noise: f64,
     ) -> (SparseBinaryMatrix, Vec<Complex>, Vec<usize>, Vec<Complex>) {
-        let seeds: Vec<NodeSeed> = (0..n_cols).map(|i| NodeSeed(seed * 10_000 + i as u64)).collect();
+        let seeds: Vec<NodeSeed> = (0..n_cols)
+            .map(|i| NodeSeed(seed * 10_000 + i as u64))
+            .collect();
         let a = SparseBinaryMatrix::from_seeds(rows, &seeds, 0.5);
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut support: Vec<usize> = Vec::new();
@@ -349,7 +339,10 @@ mod tests {
         }
         let values: Vec<Complex> = (0..k)
             .map(|_| {
-                Complex::from_polar(0.3 + rng.next_f64(), rng.next_f64() * core::f64::consts::TAU)
+                Complex::from_polar(
+                    0.3 + rng.next_f64(),
+                    rng.next_f64() * core::f64::consts::TAU,
+                )
             })
             .collect();
         let mut y = vec![Complex::ZERO; rows];

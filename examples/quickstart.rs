@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== end-to-end ==");
     println!("correct messages   : {}", outcome.correct_messages);
-    println!("message loss rate  : {:.1} %", outcome.message_loss_rate() * 100.0);
+    println!(
+        "message loss rate  : {:.1} %",
+        outcome.message_loss_rate() * 100.0
+    );
     println!("total air time     : {:.2} ms", outcome.total_time_ms());
     println!(
         "mean tag energy    : {:.2} µJ",

@@ -128,7 +128,7 @@ proptest! {
         let joint = collide(&channels, &per_tag_bits).unwrap()[0];
         let sum: Complex = (0..n)
             .map(|i| {
-                collide(&channels[i..=i], &per_tag_bits[i..=i].to_vec()).unwrap()[0]
+                collide(&channels[i..=i], &per_tag_bits[i..=i]).unwrap()[0]
             })
             .sum();
         prop_assert!((joint - sum).abs() < 1e-9);
