@@ -1,0 +1,77 @@
+//! Large-population decoding benchmark: the bit-flipping decoder at
+//! K = 32 and K = 64 with sparse participation (the paper's Fig. 11 regime is
+//! K ≫ 16; this suite is the stepping stone the ROADMAP's K = 100+ workload
+//! builds on).
+//!
+//! Participation is held at ~4 expected colliders per slot regardless of K
+//! (`p = 4/K`), matching how the rateless code provisions its collision size,
+//! so the workload isolates how decode cost scales with the *population*
+//! rather than with collision density.
+//!
+//! A reference measurement for this suite lives in
+//! `benches/decoders_large_k.baseline.json`; rerun with
+//! `cargo bench -p backscatter_bench --bench decoders_large_k` and compare
+//! against it when touching the decode hot path.
+
+use backscatter_codes::message::Message;
+use backscatter_phy::complex::Complex;
+use backscatter_prng::{NodeSeed, Rng64, Xoshiro256};
+use buzz::bp::BitFlippingDecoder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a ready-to-decode collision problem with `k` nodes, `slots` slots,
+/// and ~`expected_colliders` participants per slot.
+fn build_sparse_problem(k: usize, slots: usize, expected_colliders: f64) -> BitFlippingDecoder {
+    let p = (expected_colliders / k as f64).min(1.0);
+    let mut rng = Xoshiro256::seed_from_u64(2_026);
+    let channels: Vec<Complex> = (0..k)
+        .map(|_| {
+            Complex::from_polar(
+                0.4 + rng.next_f64(),
+                rng.next_f64() * core::f64::consts::TAU,
+            )
+        })
+        .collect();
+    let frames: Vec<Vec<bool>> = (0..k)
+        .map(|i| Message::standard_32bit(9_000 + i as u64).unwrap().framed())
+        .collect();
+    let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(40_000 + i)).collect();
+    let mut decoder = BitFlippingDecoder::new(channels.clone(), frames[0].len(), 1e-4).unwrap();
+    for slot in 0..slots as u64 {
+        let participants: Vec<bool> = seeds
+            .iter()
+            .map(|s| s.participates_in_slot(slot, p))
+            .collect();
+        let symbols: Vec<Complex> = (0..frames[0].len())
+            .map(|pos| {
+                let mut y = Complex::ZERO;
+                for i in 0..k {
+                    if participants[i] && frames[i][pos] {
+                        y += channels[i];
+                    }
+                }
+                y
+            })
+            .collect();
+        decoder.add_slot(&participants, symbols).unwrap();
+    }
+    decoder
+}
+
+fn bench_decoders_large_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoders_large_k");
+    group.sample_size(5);
+
+    for &k in &[32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("bit_flipping_sparse", k), &k, |b, &k| {
+            // 3K slots give the sparse code enough redundancy to converge
+            // at ~4 colliders per slot.
+            let decoder = build_sparse_problem(k, 3 * k, 4.0);
+            b.iter(|| decoder.clone().decode().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders_large_k);
+criterion_main!(benches);

@@ -7,14 +7,20 @@
 //! cargo run --release -p buzz-bench --bin reproduce fig10      # one artefact
 //! cargo run --release -p buzz-bench --bin reproduce fig14 --locations 10
 //! cargo run --release -p buzz-bench --bin reproduce all --json results.json
+//! cargo run --release -p buzz-bench --bin reproduce all --threads 8
 //! ```
 //!
 //! Valid experiment ids: `table12`, `fig2_3`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `lemma51`, `headline`, `all`.
+//!
+//! `--threads N` shards each experiment's scenario matrix across `N` worker
+//! threads (default: the machine's available parallelism).  Output is
+//! byte-identical for every `N`; `--threads 1` runs the plain serial loops.
 
 use std::io::Write as _;
 
 use buzz_bench::experiments;
+use buzz_bench::parallelism;
 use buzz_bench::ExperimentReport;
 
 const BASE_SEED: u64 = 2012;
@@ -23,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut locations = experiments::DEFAULT_LOCATIONS;
+    let mut threads = parallelism::available_threads();
     let mut json_path: Option<String> = None;
 
     let mut it = args.iter().peekable();
@@ -31,6 +38,11 @@ fn main() {
             "--locations" => {
                 if let Some(v) = it.next() {
                     locations = v.parse().unwrap_or(locations);
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next() {
+                    threads = v.parse().unwrap_or(threads).max(1);
                 }
             }
             "--json" => {
@@ -42,19 +54,19 @@ fn main() {
     }
 
     let reports: Vec<ExperimentReport> = match which.as_str() {
-        "all" => experiments::run_all(locations, BASE_SEED),
+        "all" => experiments::run_all(locations, BASE_SEED, threads),
         "table12" | "table1-2" => vec![experiments::table12()],
         "fig2_3" | "fig2" | "fig3" => vec![experiments::fig2_3(BASE_SEED)],
         "fig7" => vec![experiments::fig7(BASE_SEED)],
         "fig8" => vec![experiments::fig8()],
         "fig9" => vec![experiments::fig9(BASE_SEED)],
-        "fig10" => vec![experiments::fig10(locations, BASE_SEED)],
-        "fig11" => vec![experiments::fig11(locations, BASE_SEED)],
-        "fig12" => vec![experiments::fig12(locations, BASE_SEED)],
-        "fig13" => vec![experiments::fig13(locations, BASE_SEED)],
-        "fig14" => vec![experiments::fig14(locations, BASE_SEED)],
-        "lemma51" | "lemma5.1" => vec![experiments::lemma51(BASE_SEED)],
-        "headline" => vec![experiments::headline(locations, BASE_SEED)],
+        "fig10" => vec![experiments::fig10(locations, BASE_SEED, threads)],
+        "fig11" => vec![experiments::fig11(locations, BASE_SEED, threads)],
+        "fig12" => vec![experiments::fig12(locations, BASE_SEED, threads)],
+        "fig13" => vec![experiments::fig13(locations, BASE_SEED, threads)],
+        "fig14" => vec![experiments::fig14(locations, BASE_SEED, threads)],
+        "lemma51" | "lemma5.1" => vec![experiments::lemma51(BASE_SEED, threads)],
+        "headline" => vec![experiments::headline(locations, BASE_SEED, threads)],
         other => {
             eprintln!("unknown experiment `{other}`; see --help text in the module docs");
             std::process::exit(2);

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallelism;
 pub mod report;
 
 pub use report::ExperimentReport;

@@ -1,0 +1,20 @@
+//! The cross-thread determinism contract for the whole harness: a parallel
+//! `run_all` must serialize to exactly the bytes of a serial one.
+//!
+//! One location per experiment keeps this affordable in the test profile; CI
+//! additionally diffs a release-mode 2-location `reproduce --threads 2` run
+//! against `--threads 1`.
+
+use buzz_bench::experiments;
+use buzz_bench::report::reports_to_json;
+
+#[test]
+fn parallel_run_all_is_byte_identical_to_serial() {
+    // 2012 is the reproduce binary's BASE_SEED; the other two guard against
+    // the contract accidentally holding for one seed's trajectories only.
+    for base_seed in [2012u64, 7, 31_337] {
+        let serial = reports_to_json(&experiments::run_all(1, base_seed, 1));
+        let parallel = reports_to_json(&experiments::run_all(1, base_seed, 4));
+        assert_eq!(serial, parallel, "base_seed = {base_seed}");
+    }
+}

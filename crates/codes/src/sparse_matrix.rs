@@ -9,26 +9,57 @@
 //! * the participation matrix `D` of the data phase (`L × K`), whose entry
 //!   `d_{j,i} = 1` when node `i` transmits its message in slot `j`.
 //!
-//! Both are stored here in a compressed sparse-row layout with an auxiliary
-//! per-column index, because the decoders need fast access along both axes:
-//! the belief-propagation decoder walks a flipped bit's column to find the
-//! slots it affects, then walks each such slot's row to find the neighbouring
-//! bits whose gains must be updated.
+//! Both are stored in *flat* compressed sparse-row **and** sparse-column form
+//! (CSR + CSC offset arrays), because the decoders need fast access along both
+//! axes: the belief-propagation decoder walks a flipped bit's column to find
+//! the slots it affects, then walks each such slot's row to find the
+//! neighbouring bits whose gains must be updated.  The flat layout keeps those
+//! walks on contiguous memory instead of chasing one heap allocation per
+//! row/column.
+//!
+//! Matrices that drive the bit-flipping decoder additionally maintain a
+//! per-column *neighbour index* (see [`SparseBinaryMatrix::track_neighbors`]):
+//! for every column, the other columns sharing at least one row, with the
+//! shared-row multiplicity.  This turns the decoder's
+//! neighbour-of-neighbour touch set and pair-flip search from quadratic scans
+//! into direct list walks.
 
 use backscatter_prng::NodeSeed;
 
 use crate::{CodeError, CodeResult};
 
-/// A sparse binary matrix with row-major and column-major adjacency.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A sparse binary matrix with flat row-major (CSR) and column-major (CSC)
+/// adjacency, and an optional per-column neighbour index.
+#[derive(Debug, Clone)]
 pub struct SparseBinaryMatrix {
     rows: usize,
     cols: usize,
-    /// For each row, the sorted column indices holding a 1.
-    row_entries: Vec<Vec<usize>>,
-    /// For each column, the sorted row indices holding a 1.
-    col_entries: Vec<Vec<usize>>,
+    /// CSR offsets: row `r` occupies `row_cols[row_ptr[r]..row_ptr[r + 1]]`.
+    row_ptr: Vec<usize>,
+    /// Concatenated column indices of the ones, sorted within each row.
+    row_cols: Vec<usize>,
+    /// CSC offsets: column `c` occupies `col_rows[col_ptr[c]..col_ptr[c + 1]]`.
+    col_ptr: Vec<usize>,
+    /// Concatenated row indices of the ones, sorted within each column.
+    col_rows: Vec<usize>,
+    /// When enabled, `neighbors[c]` lists every other column sharing ≥ 1 row
+    /// with `c` as `(column, shared_row_count)`, sorted by column.
+    neighbors: Option<Vec<Vec<(usize, usize)>>>,
 }
+
+/// Equality is defined on the logical entry set (the CSC view and neighbour
+/// index are derived data, and whether neighbour tracking is enabled is a
+/// performance detail, not part of the value).
+impl PartialEq for SparseBinaryMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.row_cols == other.row_cols
+    }
+}
+
+impl Eq for SparseBinaryMatrix {}
 
 impl SparseBinaryMatrix {
     /// Creates an all-zero matrix.
@@ -37,8 +68,49 @@ impl SparseBinaryMatrix {
         Self {
             rows,
             cols,
-            row_entries: vec![Vec::new(); rows],
-            col_entries: vec![Vec::new(); cols],
+            row_ptr: vec![0; rows + 1],
+            row_cols: Vec::new(),
+            col_ptr: vec![0; cols + 1],
+            col_rows: Vec::new(),
+            neighbors: None,
+        }
+    }
+
+    /// Builds both flat indices from an unsorted coordinate list in one pass
+    /// (duplicates allowed; out-of-range coordinates must be pre-checked).
+    fn from_coo(rows: usize, cols: usize, ones: &mut Vec<(usize, usize)>) -> Self {
+        ones.sort_unstable();
+        ones.dedup();
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_ptr = vec![0usize; cols + 1];
+        for &(r, c) in ones.iter() {
+            row_ptr[r + 1] += 1;
+            col_ptr[c + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        for c in 0..cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        // The COO list is (row, col)-sorted, so pushing in order fills each
+        // row segment sorted by column...
+        let row_cols: Vec<usize> = ones.iter().map(|&(_, c)| c).collect();
+        // ...and a counting pass fills each column segment sorted by row.
+        let mut col_rows = vec![0usize; ones.len()];
+        let mut next_in_col = col_ptr.clone();
+        for &(r, c) in ones.iter() {
+            col_rows[next_in_col[c]] = r;
+            next_in_col[c] += 1;
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            row_cols,
+            col_ptr,
+            col_rows,
+            neighbors: None,
         }
     }
 
@@ -49,11 +121,22 @@ impl SparseBinaryMatrix {
     /// Returns [`CodeError::IndexOutOfRange`] if any coordinate is out of
     /// bounds.
     pub fn from_ones(rows: usize, cols: usize, ones: &[(usize, usize)]) -> CodeResult<Self> {
-        let mut m = Self::zeros(rows, cols);
         for &(r, c) in ones {
-            m.set(r, c)?;
+            if r >= rows {
+                return Err(CodeError::IndexOutOfRange {
+                    index: r,
+                    bound: rows,
+                });
+            }
+            if c >= cols {
+                return Err(CodeError::IndexOutOfRange {
+                    index: c,
+                    bound: cols,
+                });
+            }
         }
-        Ok(m)
+        let mut coo = ones.to_vec();
+        Ok(Self::from_coo(rows, cols, &mut coo))
     }
 
     /// Builds the matrix whose entry `(slot, node)` is 1 when the node's seed
@@ -64,16 +147,15 @@ impl SparseBinaryMatrix {
     /// same seeds, so they construct the same matrix independently.
     #[must_use]
     pub fn from_seeds(slots: usize, seeds: &[NodeSeed], p: f64) -> Self {
-        let mut m = Self::zeros(slots, seeds.len());
+        let mut coo = Vec::new();
         for (col, seed) in seeds.iter().enumerate() {
             for row in 0..slots {
                 if seed.participates_in_slot(row as u64, p) {
-                    // Safe: row/col are in range by construction.
-                    let _ = m.set(row, col);
+                    coo.push((row, col));
                 }
             }
         }
-        m
+        Self::from_coo(slots, seeds.len(), &mut coo)
     }
 
     /// Builds the identification-phase sensing matrix `A`: entry `(slot, id)`
@@ -84,15 +166,15 @@ impl SparseBinaryMatrix {
     /// data-phase stream so `A` and `D` are independent.
     #[must_use]
     pub fn from_sensing_seeds(slots: usize, seeds: &[NodeSeed], p: f64) -> Self {
-        let mut m = Self::zeros(slots, seeds.len());
+        let mut coo = Vec::new();
         for (col, seed) in seeds.iter().enumerate() {
             for row in 0..slots {
                 if seed.sensing_in_slot(row as u64, p) {
-                    let _ = m.set(row, col);
+                    coo.push((row, col));
                 }
             }
         }
-        m
+        Self::from_coo(slots, seeds.len(), &mut coo)
     }
 
     /// Number of rows.
@@ -108,6 +190,12 @@ impl SparseBinaryMatrix {
     }
 
     /// Sets entry `(row, col)` to 1 (idempotent).
+    ///
+    /// This is a build-time operation on the flat layout: inserting into the
+    /// middle of the CSR/CSC streams is `O(nnz)`.  The decode hot paths never
+    /// call it; bulk construction goes through the `from_*` builders, and the
+    /// rateless data phase grows matrices with [`SparseBinaryMatrix::push_row`]
+    /// (which only appends).
     ///
     /// # Errors
     ///
@@ -125,11 +213,28 @@ impl SparseBinaryMatrix {
                 bound: self.cols,
             });
         }
-        if let Err(pos) = self.row_entries[row].binary_search(&col) {
-            self.row_entries[row].insert(pos, col);
+        let seg = &self.row_cols[self.row_ptr[row]..self.row_ptr[row + 1]];
+        let row_pos = match seg.binary_search(&col) {
+            Ok(_) => return Ok(()),
+            Err(offset) => self.row_ptr[row] + offset,
+        };
+        if let Some(neighbors) = &mut self.neighbors {
+            let seg = &self.row_cols[self.row_ptr[row]..self.row_ptr[row + 1]];
+            for &other in seg {
+                link_neighbors(neighbors, col, other);
+            }
         }
-        if let Err(pos) = self.col_entries[col].binary_search(&row) {
-            self.col_entries[col].insert(pos, row);
+        self.row_cols.insert(row_pos, col);
+        for p in &mut self.row_ptr[row + 1..] {
+            *p += 1;
+        }
+        let pos = self.col_ptr[col]
+            + self.col_rows[self.col_ptr[col]..self.col_ptr[col + 1]]
+                .binary_search(&row)
+                .unwrap_err();
+        self.col_rows.insert(pos, row);
+        for p in &mut self.col_ptr[col + 1..] {
+            *p += 1;
         }
         Ok(())
     }
@@ -137,29 +242,33 @@ impl SparseBinaryMatrix {
     /// Whether entry `(row, col)` is 1; out-of-bounds coordinates read as 0.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> bool {
-        self.row_entries
-            .get(row)
-            .is_some_and(|r| r.binary_search(&col).is_ok())
+        row < self.rows && self.row(row).binary_search(&col).is_ok()
     }
 
     /// The column indices holding a 1 in `row` (the nodes colliding in that
-    /// slot).  Out-of-range rows return an empty slice.
+    /// slot), sorted ascending.  Out-of-range rows return an empty slice.
     #[must_use]
     pub fn row(&self, row: usize) -> &[usize] {
-        self.row_entries.get(row).map_or(&[], Vec::as_slice)
+        if row >= self.rows {
+            return &[];
+        }
+        &self.row_cols[self.row_ptr[row]..self.row_ptr[row + 1]]
     }
 
     /// The row indices holding a 1 in `col` (the slots a node participates
-    /// in).  Out-of-range columns return an empty slice.
+    /// in), sorted ascending.  Out-of-range columns return an empty slice.
     #[must_use]
     pub fn col(&self, col: usize) -> &[usize] {
-        self.col_entries.get(col).map_or(&[], Vec::as_slice)
+        if col >= self.cols {
+            return &[];
+        }
+        &self.col_rows[self.col_ptr[col]..self.col_ptr[col + 1]]
     }
 
     /// Total number of ones.
     #[must_use]
     pub fn nnz(&self) -> usize {
-        self.row_entries.iter().map(Vec::len).sum()
+        self.row_cols.len()
     }
 
     /// The density (fraction of entries that are 1).
@@ -171,9 +280,43 @@ impl SparseBinaryMatrix {
         self.nnz() as f64 / (self.rows * self.cols) as f64
     }
 
+    /// Enables the per-column neighbour index and (re)builds it from the
+    /// current entries.  From then on [`SparseBinaryMatrix::push_row`] and
+    /// [`SparseBinaryMatrix::set`] keep it incrementally up to date.
+    ///
+    /// Cost: `O(Σ_rows len(row)²)` to build, so this is meant for decoder
+    /// participation matrices (a handful of colliders per slot), not for dense
+    /// sensing matrices.
+    pub fn track_neighbors(&mut self) {
+        let mut neighbors = vec![Vec::new(); self.cols];
+        for row in 0..self.rows {
+            let seg = &self.row_cols[self.row_ptr[row]..self.row_ptr[row + 1]];
+            for (i, &a) in seg.iter().enumerate() {
+                for &b in &seg[i + 1..] {
+                    link_neighbors(&mut neighbors, a, b);
+                }
+            }
+        }
+        self.neighbors = Some(neighbors);
+    }
+
+    /// The columns sharing at least one row with `col`, as
+    /// `(column, shared_row_count)` pairs sorted by column, or `None` when
+    /// neighbour tracking is not enabled (see
+    /// [`SparseBinaryMatrix::track_neighbors`]).  Out-of-range columns return
+    /// an empty list.
+    #[must_use]
+    pub fn neighbors(&self, col: usize) -> Option<&[(usize, usize)]> {
+        let lists = self.neighbors.as_ref()?;
+        Some(lists.get(col).map_or(&[], Vec::as_slice))
+    }
+
     /// Appends a new row given the set of columns holding a 1, returning the
     /// new row's index.  This is how the rateless data phase grows `D` one
-    /// collision slot at a time.
+    /// collision slot at a time; on the flat layout it is an append to the CSR
+    /// stream plus a *single* right-to-left shift pass over the CSC stream
+    /// (each existing entry moves at most once, regardless of how many columns
+    /// the new row touches).
     ///
     /// # Errors
     ///
@@ -191,10 +334,43 @@ impl SparseBinaryMatrix {
         let mut sorted = cols_with_one.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        for &c in &sorted {
-            self.col_entries[c].push(row);
+        if let Some(neighbors) = &mut self.neighbors {
+            for (i, &a) in sorted.iter().enumerate() {
+                for &b in &sorted[i + 1..] {
+                    link_neighbors(neighbors, a, b);
+                }
+            }
         }
-        self.row_entries.push(sorted);
+        // CSC update: the new row index is larger than every existing one, so
+        // each participating column gains one entry at the *end* of its
+        // segment.  Walk the columns from the right, sliding each segment over
+        // by the number of still-unplaced new entries at or left of it
+        // (`pending`); a column's final start is its old start plus the number
+        // of insertions strictly left of it.  Columns left of the smallest
+        // participating one never move, so the pass stops early.
+        let mut pending = sorted.len();
+        self.col_rows
+            .resize(self.col_rows.len() + pending, usize::MAX);
+        for c in (0..self.cols).rev() {
+            if pending == 0 {
+                break;
+            }
+            let seg_start = self.col_ptr[c];
+            let seg_end = self.col_ptr[c + 1];
+            let has_insert = sorted[pending - 1] == c;
+            let shift = pending - usize::from(has_insert);
+            if shift > 0 {
+                self.col_rows
+                    .copy_within(seg_start..seg_end, seg_start + shift);
+            }
+            if has_insert {
+                self.col_rows[seg_end + pending - 1] = row;
+                pending -= 1;
+            }
+            self.col_ptr[c + 1] = seg_end + pending + usize::from(has_insert);
+        }
+        self.row_cols.extend_from_slice(&sorted);
+        self.row_ptr.push(self.row_cols.len());
         self.rows += 1;
         Ok(row)
     }
@@ -214,13 +390,13 @@ impl SparseBinaryMatrix {
                 });
             }
         }
-        let mut out = Self::zeros(self.rows, columns.len());
+        let mut coo = Vec::new();
         for (new_col, &old_col) in columns.iter().enumerate() {
             for &row in self.col(old_col) {
-                let _ = out.set(row, new_col);
+                coo.push((row, new_col));
             }
         }
-        Ok(out)
+        Ok(Self::from_coo(self.rows, columns.len(), &mut coo))
     }
 
     /// Multiplies the matrix by a real vector (`y = M · x`), used by tests and
@@ -236,11 +412,22 @@ impl SparseBinaryMatrix {
                 actual: x.len(),
             });
         }
-        Ok(self
-            .row_entries
-            .iter()
-            .map(|cols| cols.iter().map(|&c| x[c]).sum())
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().map(|&c| x[c]).sum())
             .collect())
+    }
+}
+
+/// Records one more shared row between columns `a` and `b` in both neighbour
+/// lists (each kept sorted by column index).
+fn link_neighbors(neighbors: &mut [Vec<(usize, usize)>], a: usize, b: usize) {
+    debug_assert_ne!(a, b);
+    for (from, to) in [(a, b), (b, a)] {
+        let list = &mut neighbors[from];
+        match list.binary_search_by_key(&to, |&(c, _)| c) {
+            Ok(i) => list[i].1 += 1,
+            Err(i) => list.insert(i, (to, 1)),
+        }
     }
 }
 
@@ -277,6 +464,15 @@ mod tests {
         assert_eq!(m.col(0), &[0, 1]);
         assert_eq!(m.nnz(), 4);
         assert!(SparseBinaryMatrix::from_ones(2, 2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn from_ones_tolerates_duplicates_and_any_order() {
+        let m =
+            SparseBinaryMatrix::from_ones(3, 3, &[(2, 1), (0, 2), (2, 1), (0, 0), (0, 1)]).unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        assert_eq!(m.col(1), &[0, 2]);
     }
 
     #[test]
@@ -327,6 +523,65 @@ mod tests {
         assert_eq!(m.row(1), &[0, 3]);
         assert_eq!(m.col(3), &[0, 1]);
         assert!(m.push_row(&[5]).is_err());
+    }
+
+    #[test]
+    fn incremental_construction_matches_bulk_builder() {
+        // The same entry set built via push_row, via set, and via from_ones
+        // must agree in every view (CSR, CSC, get).
+        let ones = [(0usize, 1usize), (0, 4), (1, 0), (1, 1), (2, 3), (3, 1)];
+        let bulk = SparseBinaryMatrix::from_ones(4, 5, &ones).unwrap();
+        let mut pushed = SparseBinaryMatrix::zeros(0, 5);
+        pushed.push_row(&[4, 1]).unwrap();
+        pushed.push_row(&[0, 1]).unwrap();
+        pushed.push_row(&[3]).unwrap();
+        pushed.push_row(&[1]).unwrap();
+        let mut set_built = SparseBinaryMatrix::zeros(4, 5);
+        for &(r, c) in &ones {
+            set_built.set(r, c).unwrap();
+        }
+        for m in [&pushed, &set_built] {
+            assert_eq!(m, &bulk);
+            for c in 0..5 {
+                assert_eq!(m.col(c), bulk.col(c));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_index_tracks_shared_rows() {
+        let mut m = SparseBinaryMatrix::zeros(0, 4);
+        m.push_row(&[0, 1]).unwrap();
+        assert!(m.neighbors(0).is_none(), "tracking starts disabled");
+        m.track_neighbors();
+        assert_eq!(m.neighbors(0).unwrap(), &[(1, 1)]);
+        // Incremental updates on push_row…
+        m.push_row(&[0, 1, 3]).unwrap();
+        assert_eq!(m.neighbors(0).unwrap(), &[(1, 2), (3, 1)]);
+        assert_eq!(m.neighbors(3).unwrap(), &[(0, 1), (1, 1)]);
+        assert_eq!(m.neighbors(2).unwrap(), &[]);
+        // …and on set.
+        m.set(0, 2).unwrap();
+        assert_eq!(m.neighbors(2).unwrap(), &[(0, 1), (1, 1)]);
+        assert!(m.neighbors(99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn neighbor_index_rebuild_matches_incremental_maintenance() {
+        let seeds: Vec<NodeSeed> = (0..10).map(NodeSeed).collect();
+        let reference = {
+            let mut m = SparseBinaryMatrix::from_seeds(40, &seeds, 0.3);
+            m.track_neighbors();
+            m
+        };
+        let mut incremental = SparseBinaryMatrix::zeros(0, 10);
+        incremental.track_neighbors();
+        for row in 0..40 {
+            incremental.push_row(reference.row(row)).unwrap();
+        }
+        for c in 0..10 {
+            assert_eq!(incremental.neighbors(c), reference.neighbors(c), "col {c}");
+        }
     }
 
     #[test]

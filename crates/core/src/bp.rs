@@ -18,12 +18,32 @@
 //! caller appends them and re-decodes; messages whose CRC already passed are
 //! locked (their gains pinned to −∞, matching the paper's optimization for the
 //! near-far effect) so later iterations cannot corrupt them.
+//!
+//! # Hot-path design
+//!
+//! The greedy descent never recomputes a gain from scratch.  Each position
+//! keeps a [`PositionState`]: the slot residuals `r_j`, per-node residual sums
+//! `S_i = Σ_{j ∈ col(i)} r_j`, and gains derived from `S_i` in `O(1)` via
+//!
+//! ```text
+//! G_i = 2·Re(S_i · conj(c_i)) − deg_i·|h_i|²,    c_i = ±h_i
+//! ```
+//!
+//! (algebraically identical to `Σ_j |r_j|² − |r_j − c_i|²`).  A flip of node
+//! `f` touches only the slots in `col(f)` and the nodes in those slots' rows:
+//! residuals and sums absorb the `−c_f` delta, touched gains refresh in
+//! `O(1)` each, and a tournament tree ([`MaxTracker`]) answers the next argmax
+//! in `O(1)`.  The pair-flip escape uses the participation matrix's neighbour
+//! index (columns sharing ≥ 1 slot, with multiplicity), so it costs one `O(1)`
+//! evaluation per *colliding* pair instead of a residual walk over every
+//! `(i, l)` combination.
 
 use backscatter_codes::message::Message;
 use backscatter_codes::sparse_matrix::SparseBinaryMatrix;
 use backscatter_phy::complex::Complex;
 use backscatter_prng::{Rng64, SplitMix64, Xoshiro256};
 
+use crate::max_tracker::MaxTracker;
 use crate::{BuzzError, BuzzResult};
 
 /// The reader's incremental collision decoder.
@@ -33,7 +53,8 @@ pub struct BitFlippingDecoder {
     channels: Vec<Complex>,
     /// Framed message length in bits (payload + CRC).
     message_bits: usize,
-    /// Participation matrix accumulated so far (`L × K`).
+    /// Participation matrix accumulated so far (`L × K`), with the
+    /// per-node neighbour index enabled.
     d: SparseBinaryMatrix,
     /// Received symbols: `y[slot][bit position]`.
     y: Vec<Vec<Complex>>,
@@ -54,6 +75,10 @@ pub struct BitFlippingDecoder {
     previous_candidates: Vec<Option<CandidateSnapshot>>,
     /// Safety cap on flips per bit position per decode call.
     max_flips_per_position: usize,
+    /// Reused buffer for the participant column list built by
+    /// [`BitFlippingDecoder::add_slot`] (one slot arrives per protocol
+    /// round-trip; reallocating it every time showed up in profiles).
+    participant_scratch: Vec<usize>,
 }
 
 /// A remembered candidate frame used by the stability locking gate.
@@ -94,6 +119,203 @@ impl DecodeState {
     }
 }
 
+/// Incremental state of the greedy descent for one bit position.
+///
+/// All four views are kept consistent under [`PositionState::flip_all`]:
+/// `residual[j]` absorbs the flipped node's channel delta for its slots,
+/// `residual_sums[i]` absorbs the same delta once per shared slot, and the
+/// gains of every touched node (the flipped node and its graph neighbours)
+/// are re-derived from `residual_sums` in `O(1)` and pushed into the
+/// tournament tree.  Nothing is ever recomputed by walking a node's full
+/// slot list after initialization.
+struct PositionState<'a> {
+    decoder: &'a BitFlippingDecoder,
+    /// Candidate bit per node.
+    b: Vec<bool>,
+    /// Slot residuals `r_j = y_j − Σ_i D_{j,i} h_i b_i`.
+    residual: Vec<Complex>,
+    /// `S_i = Σ_{j ∈ col(i)} r_j` per node.
+    residual_sums: Vec<Complex>,
+    /// Flip gain per node (−∞ for locked nodes), derived from `S_i`.
+    gains: Vec<f64>,
+    /// Tournament tree mirroring `gains` for O(1) argmax.
+    tracker: MaxTracker,
+    /// Scratch: nodes whose gain must be refreshed after the current flips.
+    touched: Vec<usize>,
+    /// Scratch: membership mask for `touched`.
+    touched_mark: Vec<bool>,
+}
+
+/// The O(1) flip-gain formula: `2·Re(S · conj(c)) − deg·|c|²` for a node with
+/// residual sum `S`, flip change `c = ±h`, and `deg` participating slots.
+fn flip_gain(s: Complex, c: Complex, deg: usize) -> f64 {
+    2.0 * (s.re * c.re + s.im * c.im) - deg as f64 * c.norm_sqr()
+}
+
+impl<'a> PositionState<'a> {
+    /// Builds the state for `position` from a deterministic pseudorandom
+    /// starting assignment (restart 0 is all-zeros, the fastest start when
+    /// collisions are sparse; locked nodes always use their verified bit).
+    fn new(decoder: &'a BitFlippingDecoder, position: usize, restart: u64) -> Self {
+        let k = decoder.channels.len();
+        let l = decoder.d.rows();
+        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(
+            0xb17_f11b ^ position as u64,
+            SplitMix64::mix(l as u64, restart),
+        ));
+        let b: Vec<bool> = (0..k)
+            .map(|i| match &decoder.locked[i] {
+                Some(frame) => frame[position],
+                None => {
+                    if restart == 0 {
+                        false
+                    } else {
+                        rng.next_bit()
+                    }
+                }
+            })
+            .collect();
+        let residual: Vec<Complex> = (0..l)
+            .map(|j| {
+                let fit: Complex = decoder
+                    .d
+                    .row(j)
+                    .iter()
+                    .filter(|&&i| b[i])
+                    .map(|&i| decoder.channels[i])
+                    .sum();
+                decoder.y[j][position] - fit
+            })
+            .collect();
+        let residual_sums: Vec<Complex> = (0..k)
+            .map(|i| decoder.d.col(i).iter().map(|&j| residual[j]).sum())
+            .collect();
+        let gains: Vec<f64> = (0..k)
+            .map(|i| {
+                if decoder.locked[i].is_some() {
+                    f64::NEG_INFINITY
+                } else {
+                    let c = if b[i] {
+                        -decoder.channels[i]
+                    } else {
+                        decoder.channels[i]
+                    };
+                    flip_gain(residual_sums[i], c, decoder.d.col(i).len())
+                }
+            })
+            .collect();
+        let tracker = MaxTracker::new(&gains);
+        Self {
+            decoder,
+            b,
+            residual,
+            residual_sums,
+            gains,
+            tracker,
+            touched: Vec::with_capacity(k),
+            touched_mark: vec![false; k],
+        }
+    }
+
+    /// The signal change flipping `node` would cause in its slots.
+    fn change_of(&self, node: usize) -> Complex {
+        if self.b[node] {
+            -self.decoder.channels[node]
+        } else {
+            self.decoder.channels[node]
+        }
+    }
+
+    /// O(1) gain of flipping `node`, derived from its residual sum.
+    fn gain_of(&self, node: usize) -> f64 {
+        if self.decoder.locked[node].is_some() {
+            return f64::NEG_INFINITY;
+        }
+        flip_gain(
+            self.residual_sums[node],
+            self.change_of(node),
+            self.decoder.d.col(node).len(),
+        )
+    }
+
+    /// Queues `node` for a gain refresh (idempotent within one flip batch).
+    fn mark_touched(&mut self, node: usize) {
+        if !self.touched_mark[node] {
+            self.touched_mark[node] = true;
+            self.touched.push(node);
+        }
+    }
+
+    /// Applies the flips in `nodes` and refreshes every touched gain.
+    fn flip_all(&mut self, nodes: &[usize]) {
+        for &node in nodes {
+            let change = self.change_of(node);
+            self.b[node] = !self.b[node];
+            self.mark_touched(node);
+            for &j in self.decoder.d.col(node) {
+                self.residual[j] -= change;
+                for &i in self.decoder.d.row(j) {
+                    self.residual_sums[i] -= change;
+                    self.mark_touched(i);
+                }
+            }
+        }
+        while let Some(node) = self.touched.pop() {
+            self.touched_mark[node] = false;
+            let g = self.gain_of(node);
+            self.gains[node] = g;
+            self.tracker.set(node, g);
+        }
+    }
+
+    /// The `(node, gain)` of the most profitable single flip.
+    fn best_single(&self) -> (usize, f64) {
+        self.tracker.best()
+    }
+
+    /// Looks for a pair of unlocked colliding nodes whose *joint* flip reduces
+    /// the residual error, returning the pair if one exists.  Used to escape
+    /// local minima of the single-bit descent.
+    ///
+    /// For a colliding pair the joint gain decomposes into the two individual
+    /// gains plus a cross term over their shared slots:
+    /// `G_{i,l} = G_i + G_l − 2·n_{il}·Re(c_i · conj(c_l))`, so each candidate
+    /// pair costs O(1) via the neighbour index (non-colliding pairs have no
+    /// cross term and cannot beat their individual, non-positive, gains).
+    fn best_pair(&self) -> Option<[usize; 2]> {
+        let neighbors_of = |node: usize| {
+            self.decoder
+                .d
+                .neighbors(node)
+                .expect("decoder matrices track neighbors")
+        };
+        let mut best: Option<(f64, [usize; 2])> = None;
+        for i in 0..self.b.len() {
+            if self.decoder.locked[i].is_some() {
+                continue;
+            }
+            let ci = self.change_of(i);
+            for &(l, shared) in neighbors_of(i) {
+                if l <= i || self.decoder.locked[l].is_some() {
+                    continue;
+                }
+                let cl = self.change_of(l);
+                let cross = ci.re * cl.re + ci.im * cl.im;
+                let joint_gain = self.gains[i] + self.gains[l] - 2.0 * shared as f64 * cross;
+                if joint_gain > 1e-9 && best.as_ref().is_none_or(|(g, _)| joint_gain > *g) {
+                    best = Some((joint_gain, [i, l]));
+                }
+            }
+        }
+        best.map(|(_, pair)| pair)
+    }
+
+    /// Total residual error of the current assignment.
+    fn error(&self) -> f64 {
+        self.residual.iter().map(|r| r.norm_sqr()).sum()
+    }
+}
+
 impl BitFlippingDecoder {
     /// Creates a decoder for `channels.len()` nodes with framed messages of
     /// `message_bits` bits.  `noise_power` is the reader's estimate of the
@@ -121,15 +343,18 @@ impl BitFlippingDecoder {
             ));
         }
         let k = channels.len();
+        let mut d = SparseBinaryMatrix::zeros(0, k);
+        d.track_neighbors();
         Ok(Self {
             channels,
             message_bits,
-            d: SparseBinaryMatrix::zeros(0, k),
+            d,
             y: Vec::new(),
             locked: vec![None; k],
             noise_power,
             previous_candidates: vec![None; k],
             max_flips_per_position: 200 * k,
+            participant_scratch: Vec::with_capacity(k),
         })
     }
 
@@ -163,13 +388,15 @@ impl BitFlippingDecoder {
                 "slot must carry one symbol per message bit",
             ));
         }
-        let cols: Vec<usize> = participants
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p)
-            .map(|(i, _)| i)
-            .collect();
-        self.d.push_row(&cols)?;
+        self.participant_scratch.clear();
+        self.participant_scratch.extend(
+            participants
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p)
+                .map(|(i, _)| i),
+        );
+        self.d.push_row(&self.participant_scratch)?;
         self.y.push(symbols);
         Ok(())
     }
@@ -189,6 +416,7 @@ impl BitFlippingDecoder {
         }
         let k = self.channels.len();
         let p = self.message_bits;
+        let l = self.d.rows();
 
         // Decode-and-lock until a fixed point: each pass decodes every bit
         // position (bits at different positions never collide with each
@@ -199,12 +427,21 @@ impl BitFlippingDecoder {
         let mut frames: Vec<Vec<bool>> = vec![vec![false; p]; k];
         let mut newly_decoded = Vec::new();
         loop {
+            // The per-(slot, position) residuals are maintained incrementally
+            // by each position's descent, so the per-slot residual power the
+            // locking gates need falls out of the decode itself — no separate
+            // O(slots × bits × colliders) refit pass.
+            let mut slot_power = vec![0.0f64; l];
             for position in 0..p {
-                let bits = self.decode_position(position);
+                let (bits, residual) = self.decode_position(position);
                 for (node, &bit) in bits.iter().enumerate() {
                     frames[node][position] = bit;
                 }
+                for (acc, r) in slot_power.iter_mut().zip(&residual) {
+                    *acc += r.norm_sqr();
+                }
             }
+            let per_slot_residual: Vec<f64> = slot_power.iter().map(|&t| t / p as f64).collect();
 
             // Lock candidates that pass the CRC *and* one of two confidence
             // checks.  The CRC alone (5 bits) is too weak against the many
@@ -218,7 +455,6 @@ impl BitFlippingDecoder {
             //       arrived since (stability gate) — this path covers
             //       unmodelled interference, where residuals never reach the
             //       noise floor but correct messages still stabilize.
-            let per_slot_residual = self.per_slot_residual_power(&frames);
             let mut locked_this_pass = false;
             for node in 0..k {
                 if self.locked[node].is_some() {
@@ -338,12 +574,17 @@ impl BitFlippingDecoder {
         if involved.is_empty() {
             return;
         }
-        // Normal equations over the involved nodes only.
+        // Normal equations over the involved nodes only.  The node → index
+        // map is precomputed once (dense, usize::MAX = absent) so the inner
+        // per-symbol accumulation below never scans the involved list.
         let n = involved.len();
+        let mut index_of_node = vec![usize::MAX; k];
+        for (idx, &node) in involved.iter().enumerate() {
+            index_of_node[node] = idx;
+        }
         let mut gram = sparse_recovery::linalg::ComplexMatrix::zeros(n, n);
         let mut gram_real = vec![vec![0.0f64; n]; n];
         let mut rhs = vec![Complex::ZERO; n];
-        let index_of = |node: usize| involved.iter().position(|&i| i == node);
         for &j in &locked_only_slots {
             let cols = self.d.row(j);
             for pos in 0..p {
@@ -353,10 +594,14 @@ impl BitFlippingDecoder {
                     .filter(|&i| self.locked[i].as_ref().is_some_and(|frame| frame[pos]))
                     .collect();
                 for &i in &active {
-                    let Some(ii) = index_of(i) else { continue };
+                    let ii = index_of_node[i];
+                    if ii == usize::MAX {
+                        continue;
+                    }
                     rhs[ii] += self.y[j][pos];
                     for &l in &active {
-                        if let Some(ll) = index_of(l) {
+                        let ll = index_of_node[l];
+                        if ll != usize::MAX {
                             gram_real[ii][ll] += 1.0;
                         }
                     }
@@ -386,86 +631,6 @@ impl BitFlippingDecoder {
         }
     }
 
-    /// Looks for a pair of unlocked colliding nodes whose *joint* flip reduces
-    /// the residual error, returning the pair if one exists.  Used to escape
-    /// local minima of the single-bit descent.
-    fn best_pair_flip(&self, b: &[bool], residual: &[Complex]) -> Option<Vec<usize>> {
-        let k = self.channels.len();
-        let change_of = |node: usize| {
-            if b[node] {
-                -self.channels[node]
-            } else {
-                self.channels[node]
-            }
-        };
-        let mut best: Option<(f64, Vec<usize>)> = None;
-        for i in 0..k {
-            if self.locked[i].is_some() {
-                continue;
-            }
-            for l in (i + 1)..k {
-                if self.locked[l].is_some() {
-                    continue;
-                }
-                // Only pairs that actually collide somewhere can have a joint
-                // effect that differs from their individual (non-positive)
-                // gains.
-                let shares_slot = self
-                    .d
-                    .col(i)
-                    .iter()
-                    .any(|j| self.d.col(l).binary_search(j).is_ok());
-                if !shares_slot {
-                    continue;
-                }
-                let ci = change_of(i);
-                let cl = change_of(l);
-                let mut joint_gain = 0.0;
-                let mut rows: Vec<usize> = self.d.col(i).to_vec();
-                for &j in self.d.col(l) {
-                    if !rows.contains(&j) {
-                        rows.push(j);
-                    }
-                }
-                for &j in &rows {
-                    let mut delta = Complex::ZERO;
-                    if self.d.get(j, i) {
-                        delta += ci;
-                    }
-                    if self.d.get(j, l) {
-                        delta += cl;
-                    }
-                    joint_gain += residual[j].norm_sqr() - (residual[j] - delta).norm_sqr();
-                }
-                if joint_gain > 1e-9 && best.as_ref().is_none_or(|(g, _)| joint_gain > *g) {
-                    best = Some((joint_gain, vec![i, l]));
-                }
-            }
-        }
-        best.map(|(_, pair)| pair)
-    }
-
-    /// Mean residual power per slot (averaged over bit positions) implied by a
-    /// full candidate frame matrix.
-    fn per_slot_residual_power(&self, frames: &[Vec<bool>]) -> Vec<f64> {
-        let p = self.message_bits;
-        (0..self.d.rows())
-            .map(|j| {
-                let cols = self.d.row(j);
-                let mut total = 0.0;
-                for pos in 0..p {
-                    let fit: Complex = cols
-                        .iter()
-                        .filter(|&&i| frames[i][pos])
-                        .map(|&i| self.channels[i])
-                        .sum();
-                    total += (self.y[j][pos] - fit).norm_sqr();
-                }
-                total / p as f64
-            })
-            .collect()
-    }
-
     /// Whether the current fit over the slots `node` participated in is good
     /// enough to trust a CRC match: the mean residual in those slots must be
     /// explained by noise (plus a small tolerance), or be small relative to
@@ -487,145 +652,48 @@ impl BitFlippingDecoder {
     /// Greedy bit-flipping for one bit position across all nodes, with a small
     /// number of random restarts to escape local minima (the error surface of
     /// a dense collision has more local minima than a sparse one; restarts are
-    /// cheap because K is small).
-    fn decode_position(&self, position: usize) -> Vec<bool> {
+    /// cheap because the incremental state costs O(nnz) to build).  Returns
+    /// the best assignment and its final slot residuals.
+    fn decode_position(&self, position: usize) -> (Vec<bool>, Vec<Complex>) {
         const RESTARTS: u64 = 4;
-        let mut best: Option<(f64, Vec<bool>)> = None;
+        let mut best: Option<(f64, Vec<bool>, Vec<Complex>)> = None;
         for restart in 0..RESTARTS {
-            let (error, bits) = self.decode_position_once(position, restart);
-            if best.as_ref().is_none_or(|(e, _)| error < *e) {
-                best = Some((error, bits));
+            let (error, bits, residual) = self.decode_position_once(position, restart);
+            if best.as_ref().is_none_or(|(e, _, _)| error < *e) {
+                best = Some((error, bits, residual));
             }
             // A (near-)zero residual cannot be improved.
-            if best.as_ref().is_some_and(|(e, _)| *e < 1e-9) {
+            if best.as_ref().is_some_and(|(e, _, _)| *e < 1e-9) {
                 break;
             }
         }
-        best.map(|(_, b)| b).unwrap_or_default()
+        best.map(|(_, b, r)| (b, r)).unwrap_or_default()
     }
 
     /// One greedy descent from a pseudorandom starting point; returns the
-    /// final residual error and bit assignment.
-    fn decode_position_once(&self, position: usize, restart: u64) -> (f64, Vec<bool>) {
-        let k = self.channels.len();
-        let l = self.d.rows();
-
-        // Initial candidate: locked nodes use their verified bit; the rest
-        // start from a deterministic pseudorandom assignment (the paper
-        // initializes at random; determinism here keeps runs reproducible).
-        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(
-            0xb17_f11b ^ position as u64,
-            SplitMix64::mix(l as u64, restart),
-        ));
-        let mut b: Vec<bool> = (0..k)
-            .map(|i| match &self.locked[i] {
-                Some(frame) => frame[position],
-                None => {
-                    if restart == 0 {
-                        // First attempt starts from all-zeros, which converges
-                        // fastest when collisions are sparse.
-                        false
-                    } else {
-                        rng.next_bit()
-                    }
-                }
-            })
-            .collect();
-
-        // Residual r_j = y_j − Σ_i D_{j,i} h_i b_i.
-        let mut residual: Vec<Complex> = (0..l)
-            .map(|j| {
-                let fit: Complex = self
-                    .d
-                    .row(j)
-                    .iter()
-                    .filter(|&&i| b[i])
-                    .map(|&i| self.channels[i])
-                    .sum();
-                self.y[j][position] - fit
-            })
-            .collect();
-
-        // Gain of flipping each unlocked node.
-        let gain = |node: usize, b: &[bool], residual: &[Complex]| -> f64 {
-            let change = if b[node] {
-                -self.channels[node]
-            } else {
-                self.channels[node]
-            };
-            self.d
-                .col(node)
-                .iter()
-                .map(|&j| residual[j].norm_sqr() - (residual[j] - change).norm_sqr())
-                .sum()
-        };
-
-        let mut gains: Vec<f64> = (0..k)
-            .map(|i| {
-                if self.locked[i].is_some() {
-                    f64::NEG_INFINITY
-                } else {
-                    gain(i, &b, &residual)
-                }
-            })
-            .collect();
-
+    /// final residual error, bit assignment, and slot residuals.
+    fn decode_position_once(
+        &self,
+        position: usize,
+        restart: u64,
+    ) -> (f64, Vec<bool>, Vec<Complex>) {
+        let mut state = PositionState::new(self, position, restart);
         for _ in 0..self.max_flips_per_position {
-            // Find the most profitable flip.
-            let (best, &best_gain) = match gains
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
-            {
-                Some(x) => x,
-                None => break,
-            };
-            // Decide which nodes to flip this iteration: the single best bit
-            // when it has positive gain, otherwise try to escape the local
-            // minimum by flipping a *pair* of colliding nodes whose joint flip
-            // reduces the error (single-bit descent cannot cross such saddle
-            // points, which become common as more nodes collide per slot).
-            let to_flip: Vec<usize> = if best_gain > 1e-12 {
-                vec![best]
+            let (best, best_gain) = state.best_single();
+            // Flip the single best bit when it has positive gain, otherwise
+            // try to escape the local minimum by flipping a *pair* of
+            // colliding nodes whose joint flip reduces the error (single-bit
+            // descent cannot cross such saddle points, which become common as
+            // more nodes collide per slot).
+            if best_gain > 1e-12 {
+                state.flip_all(&[best]);
+            } else if let Some(pair) = state.best_pair() {
+                state.flip_all(&pair);
             } else {
-                match self.best_pair_flip(&b, &residual) {
-                    Some(pair) => pair,
-                    None => break,
-                }
-            };
-            for &node in &to_flip {
-                let change = if b[node] {
-                    -self.channels[node]
-                } else {
-                    self.channels[node]
-                };
-                b[node] = !b[node];
-                for &j in self.d.col(node) {
-                    residual[j] -= change;
-                }
-            }
-            // Update the flipped nodes' gains and those of their
-            // neighbours-of-neighbours (nodes sharing at least one slot).
-            let mut touched: Vec<usize> = to_flip.clone();
-            for &node in &to_flip {
-                for &j in self.d.col(node) {
-                    for &other in self.d.row(j) {
-                        if !touched.contains(&other) {
-                            touched.push(other);
-                        }
-                    }
-                }
-            }
-            for node in touched {
-                gains[node] = if self.locked[node].is_some() {
-                    f64::NEG_INFINITY
-                } else {
-                    gain(node, &b, &residual)
-                };
+                break;
             }
         }
-        let error: f64 = residual.iter().map(|r| r.norm_sqr()).sum();
-        (error, b)
+        (state.error(), state.b, state.residual)
     }
 }
 
@@ -633,6 +701,7 @@ impl BitFlippingDecoder {
 mod tests {
     use super::*;
     use backscatter_prng::NodeSeed;
+    use proptest::prelude::*;
 
     /// Builds a decoder problem: `k` nodes with given channels, random framed
     /// messages, a participation matrix with probability `p`, and noiseless or
@@ -708,6 +777,23 @@ mod tests {
         assert!(d.add_slot(&[true, false], vec![Complex::ZERO; 10]).is_err());
         assert!(d.add_slot(&[true, false], vec![Complex::ZERO; 37]).is_ok());
         assert_eq!(d.slots(), 1);
+    }
+
+    #[test]
+    fn add_slot_scratch_buffer_reuse_builds_correct_rows() {
+        // Successive slots with different participant sets must produce the
+        // right matrix rows even though the column list buffer is reused.
+        let mut d = BitFlippingDecoder::new(vec![Complex::ONE, Complex::I, -Complex::ONE], 37, 0.0)
+            .unwrap();
+        d.add_slot(&[true, false, true], vec![Complex::ZERO; 37])
+            .unwrap();
+        d.add_slot(&[false, true, false], vec![Complex::ZERO; 37])
+            .unwrap();
+        d.add_slot(&[false, false, false], vec![Complex::ZERO; 37])
+            .unwrap();
+        assert_eq!(d.d.row(0), &[0, 2]);
+        assert_eq!(d.d.row(1), &[1]);
+        assert_eq!(d.d.row(2), &[] as &[usize]);
     }
 
     #[test]
@@ -891,6 +977,190 @@ mod tests {
             if before.is_some() {
                 assert_eq!(before, now);
             }
+        }
+    }
+
+    // ----- differential tests: incremental hot-path state vs brute force -----
+
+    /// Brute-force flip gain straight from the definition:
+    /// `Σ_{j ∈ col(node)} |r_j|² − |r_j − c|²` (the pre-incremental decoder's
+    /// inner loop).
+    fn reference_gain(state: &PositionState<'_>, node: usize) -> f64 {
+        if state.decoder.locked[node].is_some() {
+            return f64::NEG_INFINITY;
+        }
+        let change = state.change_of(node);
+        state
+            .decoder
+            .d
+            .col(node)
+            .iter()
+            .map(|&j| state.residual[j].norm_sqr() - (state.residual[j] - change).norm_sqr())
+            .sum()
+    }
+
+    /// Brute-force slot residuals recomputed from the candidate bits.
+    fn reference_residuals(state: &PositionState<'_>, position: usize) -> Vec<Complex> {
+        (0..state.decoder.d.rows())
+            .map(|j| {
+                let fit: Complex = state
+                    .decoder
+                    .d
+                    .row(j)
+                    .iter()
+                    .filter(|&&i| state.b[i])
+                    .map(|&i| state.decoder.channels[i])
+                    .sum();
+                state.decoder.y[j][position] - fit
+            })
+            .collect()
+    }
+
+    /// Brute-force joint pair gain straight from the residual definition,
+    /// mirroring the pre-incremental `best_pair_flip` inner loop.
+    fn reference_pair_gain(state: &PositionState<'_>, i: usize, l: usize) -> f64 {
+        let ci = state.change_of(i);
+        let cl = state.change_of(l);
+        let d = &state.decoder.d;
+        let mut rows: Vec<usize> = d.col(i).to_vec();
+        for &j in d.col(l) {
+            if !rows.contains(&j) {
+                rows.push(j);
+            }
+        }
+        rows.iter()
+            .map(|&j| {
+                let mut delta = Complex::ZERO;
+                if d.get(j, i) {
+                    delta += ci;
+                }
+                if d.get(j, l) {
+                    delta += cl;
+                }
+                state.residual[j].norm_sqr() - (state.residual[j] - delta).norm_sqr()
+            })
+            .sum()
+    }
+
+    /// "Exactly" for incrementally-maintained floats means up to the
+    /// re-association error of IEEE addition: the incremental ledger applies
+    /// the same exact deltas as the brute-force recompute, in a different
+    /// order.  A mixed absolute/relative bound of 1e-9 is ~4 orders of
+    /// magnitude above the worst drift any of these sequences can accumulate
+    /// and ~6 below the smallest decision threshold the decoder acts on.
+    fn assert_close(a: f64, b: f64, what: &str) -> Result<(), TestCaseError> {
+        if a == b {
+            return Ok(());
+        }
+        let tol = 1e-9 * (1.0 + a.abs().max(b.abs()));
+        prop_assert!((a - b).abs() <= tol, "{}: {} vs {}", what, a, b);
+        Ok(())
+    }
+
+    proptest! {
+        /// The tentpole invariant: across random problems and random flip
+        /// sequences, the incrementally maintained residuals, residual sums,
+        /// gains, and tournament argmax all match a brute-force recompute.
+        #[test]
+        fn incremental_state_matches_brute_force_across_flip_sequences(
+            seed in 0u64..1_000_000,
+            k in 2usize..7,
+            slots in 2usize..14,
+            restart in 0u64..4,
+            flips in proptest::collection::vec(any::<u8>(), 1..32),
+        ) {
+            let channels = diverse_channels(k, seed ^ 0x5eed);
+            let (decoder, _frames) = make_problem(&channels, slots, 0.5, 0.04, seed % 500);
+            let position = (seed % 37) as usize;
+            let mut state = PositionState::new(&decoder, position, restart);
+            for &f in &flips {
+                state.flip_all(&[f as usize % k]);
+                let expected_residuals = reference_residuals(&state, position);
+                for j in 0..decoder.d.rows() {
+                    assert_close(state.residual[j].re, expected_residuals[j].re, "residual.re")?;
+                    assert_close(state.residual[j].im, expected_residuals[j].im, "residual.im")?;
+                }
+                for node in 0..k {
+                    let s: Complex = decoder.d.col(node).iter().map(|&j| state.residual[j]).sum();
+                    assert_close(state.residual_sums[node].re, s.re, "residual_sum.re")?;
+                    assert_close(state.residual_sums[node].im, s.im, "residual_sum.im")?;
+                    assert_close(state.gains[node], reference_gain(&state, node), "gain")?;
+                    assert_close(state.tracker.key(node), state.gains[node], "tracker key")?;
+                }
+                // The tournament winner must carry the true maximum gain.
+                let (best, best_gain) = state.best_single();
+                let max_gain = (0..k).map(|n| state.gains[n]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(best < k);
+                assert_close(best_gain, max_gain, "argmax gain")?;
+            }
+        }
+
+        /// The O(1) neighbour-index pair gain must match the brute-force
+        /// residual-walk joint gain of the pre-incremental decoder.
+        #[test]
+        fn pair_gain_formula_matches_brute_force(
+            seed in 0u64..1_000_000,
+            k in 2usize..7,
+            slots in 2usize..14,
+            flips in proptest::collection::vec(any::<u8>(), 0..12),
+        ) {
+            let channels = diverse_channels(k, seed ^ 0xfade);
+            let (decoder, _frames) = make_problem(&channels, slots, 0.6, 0.02, seed % 500);
+            let mut state = PositionState::new(&decoder, (seed % 7) as usize, 1);
+            for &f in &flips {
+                state.flip_all(&[f as usize % k]);
+            }
+            for i in 0..k {
+                for &(l, shared) in decoder.d.neighbors(i).unwrap() {
+                    prop_assume!(l > i);
+                    let ci = state.change_of(i);
+                    let cl = state.change_of(l);
+                    let cross = ci.re * cl.re + ci.im * cl.im;
+                    let joint = state.gains[i] + state.gains[l] - 2.0 * shared as f64 * cross;
+                    assert_close(joint, reference_pair_gain(&state, i, l), "pair gain")?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_residual_power_matches_brute_force_refit() {
+        // The per-slot residual power the locking gates consume is accumulated
+        // from the incrementally maintained position residuals; it must agree
+        // with an explicit `‖y − D·H·B̂‖²` recompute from the final frames.
+        let channels = diverse_channels(6, 21);
+        let (decoder, _frames) = make_problem(&channels, 18, 0.5, 0.05, 21);
+        let p = decoder.message_bits;
+        let l = decoder.d.rows();
+        let mut slot_power = vec![0.0f64; l];
+        let mut frames: Vec<Vec<bool>> = vec![vec![false; p]; 6];
+        for position in 0..p {
+            let (bits, residual) = decoder.decode_position(position);
+            for (node, &bit) in bits.iter().enumerate() {
+                frames[node][position] = bit;
+            }
+            for (acc, r) in slot_power.iter_mut().zip(&residual) {
+                *acc += r.norm_sqr();
+            }
+        }
+        for j in 0..l {
+            let brute: f64 = (0..p)
+                .map(|pos| {
+                    let fit: Complex = decoder
+                        .d
+                        .row(j)
+                        .iter()
+                        .filter(|&&i| frames[i][pos])
+                        .map(|&i| decoder.channels[i])
+                        .sum();
+                    (decoder.y[j][pos] - fit).norm_sqr()
+                })
+                .sum();
+            let incremental = slot_power[j];
+            assert!(
+                (incremental - brute).abs() <= 1e-9 * (1.0 + brute.abs()),
+                "slot {j}: incremental {incremental} vs brute {brute}"
+            );
         }
     }
 }

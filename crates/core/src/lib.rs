@@ -45,6 +45,7 @@
 
 pub mod bp;
 pub mod identification;
+pub mod max_tracker;
 pub mod metrics;
 pub mod protocol;
 pub mod rateless;

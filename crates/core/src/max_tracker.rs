@@ -1,0 +1,166 @@
+//! A max-tracking tournament tree over floating-point keys.
+//!
+//! The bit-flipping decoder repeatedly needs "the node with the largest gain"
+//! while gains change a few at a time (only a flipped node's graph
+//! neighbourhood moves).  A linear argmax scan is `O(K)` per flip; this
+//! structure answers argmax in `O(1)` and absorbs each point update in
+//! `O(log K)`, which is what makes the incremental decode loop's cost
+//! proportional to the *touched* set instead of the population.
+//!
+//! Ties are broken deterministically towards the **highest index** (the right
+//! child wins ties) — the same element `Iterator::max_by` would return from a
+//! linear scan, so swapping the scan for this tree cannot change a decode
+//! trajectory even on exact gain ties.  Keys are expected to be non-`NaN`
+//! (pinned nodes carry `f64::NEG_INFINITY`); a `NaN` key makes the winner at
+//! its tournament positions unspecified, exactly as it would for `max_by`
+//! with `partial_cmp`.
+
+/// A complete binary tournament tree over `len` float keys.
+#[derive(Debug, Clone)]
+pub struct MaxTracker {
+    /// Number of tracked keys.
+    len: usize,
+    /// Leaf capacity: the smallest power of two ≥ `len` (min 1).
+    base: usize,
+    /// Implicit tree: internal winners in `[1, base)`, leaves in
+    /// `[base, base + len)`.  Each entry is `(key, index)`.
+    tree: Vec<(f64, usize)>,
+}
+
+impl MaxTracker {
+    /// Builds a tracker over `keys`, which must be non-empty.
+    #[must_use]
+    pub fn new(keys: &[f64]) -> Self {
+        assert!(!keys.is_empty(), "MaxTracker needs at least one key");
+        let len = keys.len();
+        let base = len.next_power_of_two();
+        // Padding leaves (beyond `len`) carry NaN: they sit to the right of
+        // every real leaf, and `winner` never lets a NaN right child win, so
+        // a real index always reaches the root — even when every real key is
+        // NEG_INFINITY.
+        let mut tree = vec![(f64::NAN, usize::MAX); 2 * base];
+        for (i, &k) in keys.iter().enumerate() {
+            tree[base + i] = (k, i);
+        }
+        let mut t = Self { len, base, tree };
+        for node in (1..t.base).rev() {
+            t.tree[node] = Self::winner(t.tree[2 * node], t.tree[2 * node + 1]);
+        }
+        t
+    }
+
+    /// Number of tracked keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tracker is empty (never true; kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current key of `index`.
+    #[must_use]
+    pub fn key(&self, index: usize) -> f64 {
+        self.tree[self.base + index].0
+    }
+
+    /// Updates the key at `index` and reruns its tournament path.
+    pub fn set(&mut self, index: usize, key: f64) {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let mut node = self.base + index;
+        self.tree[node].0 = key;
+        while node > 1 {
+            node /= 2;
+            let merged = Self::winner(self.tree[2 * node], self.tree[2 * node + 1]);
+            if self.tree[node] == merged {
+                break;
+            }
+            self.tree[node] = merged;
+        }
+    }
+
+    /// The `(index, key)` with the maximum key; ties go to the highest index
+    /// (matching `Iterator::max_by`, which keeps the last maximum).
+    #[must_use]
+    pub fn best(&self) -> (usize, f64) {
+        let (key, index) = self.tree[1];
+        (index, key)
+    }
+
+    /// Right child wins unless the left key is strictly greater.  `NaN` on
+    /// the right never wins (`>=` is false), which is what keeps the NaN
+    /// padding leaves from ever reaching the root.
+    fn winner(left: (f64, usize), right: (f64, usize)) -> (f64, usize) {
+        if right.0 >= left.0 {
+            right
+        } else {
+            left
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference linear argmax mirroring `Iterator::max_by` (last maximum
+    /// wins), the scan the tree replaced in the decoder.
+    fn linear_best(keys: &[f64]) -> (usize, f64) {
+        let mut best = (0usize, keys[0]);
+        for (i, &k) in keys.iter().enumerate().skip(1) {
+            if k >= best.1 {
+                best = (i, k);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn tracks_max_through_random_updates() {
+        // Deterministic pseudorandom updates over several non-power-of-two
+        // sizes; the tree must agree with a linear scan after every update.
+        for len in [1usize, 2, 3, 5, 8, 13, 31] {
+            let mut keys: Vec<f64> = (0..len).map(|i| (i as f64 * 7.3) % 5.1 - 2.0).collect();
+            let mut tracker = MaxTracker::new(&keys);
+            assert_eq!(tracker.len(), len);
+            assert!(!tracker.is_empty());
+            let mut state = 0x2545_f491_4f6c_dd1du64 ^ len as u64;
+            for _ in 0..200 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                let idx = (state >> 33) as usize % len;
+                let key = ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0 - 5.0;
+                keys[idx] = key;
+                tracker.set(idx, key);
+                assert_eq!(tracker.best(), linear_best(&keys));
+                assert_eq!(tracker.key(idx), key);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_highest_index_like_max_by() {
+        let mut tracker = MaxTracker::new(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(tracker.best(), (4, 1.0));
+        tracker.set(4, 0.5);
+        assert_eq!(tracker.best(), (3, 1.0));
+        tracker.set(0, 2.0);
+        tracker.set(2, 2.0);
+        assert_eq!(tracker.best(), (2, 2.0));
+    }
+
+    #[test]
+    fn all_neg_infinity_still_reports_a_real_index() {
+        // Sizes straddling powers of two, so NaN padding leaves are in play.
+        for len in [1usize, 2, 3, 5, 8, 13] {
+            let tracker = MaxTracker::new(&vec![f64::NEG_INFINITY; len]);
+            let (idx, key) = tracker.best();
+            assert_eq!(idx, len - 1, "padding leaf leaked out at len {len}");
+            assert_eq!(key, f64::NEG_INFINITY);
+        }
+    }
+}
