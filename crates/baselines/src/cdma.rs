@@ -148,6 +148,11 @@ impl CdmaTransfer {
         // Receive the superposed chip stream.
         let mut received = Vec::with_capacity(total_chips);
         for chip_idx in 0..total_chips {
+            // Each bit period (one code length) is one "slot" for scenario
+            // dynamics (no-op on static media).
+            if chip_idx % sf == 0 {
+                medium.begin_slot((chip_idx / sf) as u64);
+            }
             let elapsed_us = chip_idx as f64 * chip_us;
             let weights: Vec<f64> = (0..k)
                 .map(|i| {

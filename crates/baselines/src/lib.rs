@@ -9,6 +9,9 @@
 //!   of Fig. 14 (plain FSA and FSA seeded with Buzz's estimate of K), thin
 //!   wrappers over [`backscatter_gen2`] that return the same report type as
 //!   Buzz's identification phase.
+//! * [`session`] — [`buzz::session::Protocol`] adapters for every baseline,
+//!   so comparison harnesses drive TDMA/CDMA/FSA and Buzz through one
+//!   `&[&dyn Protocol]` panel.
 //!
 //! All three run against the exact same [`backscatter_sim::Medium`] as Buzz,
 //! so comparisons see identical channels and noise.
@@ -18,10 +21,12 @@
 
 pub mod cdma;
 pub mod identification;
+pub mod session;
 pub mod tdma;
 
 pub use cdma::{CdmaConfig, CdmaTransfer};
 pub use identification::{fsa_identification, fsa_with_known_k, IdentificationReport};
+pub use session::{CdmaProtocol, FsaIdentification, FsaWithEstimatedK, TdmaProtocol};
 pub use tdma::{TdmaConfig, TdmaTransfer};
 
 use backscatter_sim::SimError;

@@ -90,6 +90,9 @@ impl TdmaTransfer {
         let mut time_s = 0.0;
 
         for (i, tag) in tags.iter().enumerate() {
+            // Each tag's polling round is one "slot" for scenario dynamics
+            // (no-op on static media).
+            medium.begin_slot(i as u64);
             let framed = tag.message.framed();
             let chips = self.code.encode(&framed);
             let h = tag.channel.coefficient;

@@ -4,32 +4,50 @@
 //! within an experiment runs against the *same* scenario (same channels, same
 //! messages), mirroring the paper's back-to-back trace collection.
 //!
-//! The heavy experiments walk a `parameters × locations` scenario matrix.
-//! Each cell of that matrix is an independent `(ScenarioConfig, seed)` run, so
-//! the harness shards cells across worker threads
-//! ([`crate::parallelism::parallel_map`]) and then *replays* the serial
-//! accumulation order over the ordered per-cell results.  Because every float
-//! is added in exactly the sequence the serial loop would use, report output
-//! is byte-identical for every `threads` value — `threads = 1` short-circuits
-//! to a plain inline loop and *is* the old serial behaviour.
+//! The heavy comparison figures (10–14, headline) are data-driven sweeps: a
+//! `&[&dyn Protocol]` panel over a scenario grid through the generic
+//! [`crate::compare::compare`] runner, followed by a per-figure fold of the
+//! ordered cells.  Each cell of the grid is an independent
+//! `(ScenarioConfig, seed)` run, so the runner shards cells across worker
+//! threads ([`crate::parallelism::parallel_map`]) and the fold *replays* the
+//! serial accumulation order over the ordered per-cell results.  Because
+//! every float is added in exactly the sequence the serial loop would use,
+//! report output is byte-identical for every `threads` value — `threads = 1`
+//! short-circuits to a plain inline loop and *is* the old serial behaviour.
 
-use backscatter_baselines::cdma::{CdmaConfig, CdmaTransfer};
-use backscatter_baselines::identification::{fsa_identification, fsa_with_known_k};
-use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
+use backscatter_baselines::session::{
+    CdmaProtocol, FsaIdentification, FsaWithEstimatedK, TdmaProtocol,
+};
 use backscatter_phy::channel::Channel;
 use backscatter_phy::complex::Complex;
 use backscatter_phy::signal::{Constellation, IqTrace};
 use backscatter_phy::sync::{offset_cdf, offset_quantile, ClockModel, DriftCorrection, SyncJitter};
 use backscatter_prng::{Rng64, Xoshiro256};
-use backscatter_sim::energy::{EnergyModel, TransmissionProfile};
 use backscatter_sim::medium::{Medium, MediumConfig};
 use backscatter_sim::scenario::{Scenario, ScenarioConfig};
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
+use buzz::session::Protocol;
 use buzz::toy;
 use sparse_recovery::kest::{KEstimator, KEstimatorConfig};
 
+use crate::compare::{compare, ComparisonCell};
 use crate::parallelism::parallel_map;
 use crate::report::ExperimentReport;
+
+/// Buzz in periodic mode (identification skipped), the configuration the
+/// data-phase comparisons (Figs. 10–13) run.
+fn buzz_periodic() -> BuzzProtocol {
+    BuzzProtocol::new(BuzzConfig {
+        periodic_mode: true,
+        ..BuzzConfig::default()
+    })
+    .expect("protocol")
+}
+
+/// Buzz with the full identification pipeline (Fig. 14 and the headline).
+fn buzz_full() -> BuzzProtocol {
+    BuzzProtocol::new(BuzzConfig::default()).expect("protocol")
+}
 
 /// How many independent locations (scenario seeds) each experiment averages
 /// over.  The paper uses ten; five keeps the full harness run under a minute
@@ -241,7 +259,8 @@ pub fn fig9(base_seed: u64) -> ExperimentReport {
     report
 }
 
-/// Shared runner for the §9 uplink comparison (Figs. 10 and 11).
+/// Folded means of the §9 uplink comparison (Figs. 10 and 11); the panel
+/// order is `[Buzz, TDMA, CDMA]`.
 struct UplinkComparison {
     buzz_time_ms: f64,
     tdma_time_ms: f64,
@@ -252,57 +271,10 @@ struct UplinkComparison {
     cdma_undecoded: f64,
 }
 
-/// The raw per-trace measurements of one `(k, location)` cell of the uplink
-/// comparison matrix — kept unaggregated so the merge step can replay the
-/// serial accumulation order exactly.
-struct UplinkTraceSample {
-    buzz_time_ms: f64,
-    buzz_rate: f64,
-    buzz_undecoded: f64,
-    tdma_time_ms: f64,
-    tdma_undecoded: f64,
-    cdma_time_ms: f64,
-    cdma_undecoded: f64,
-}
-
-/// Runs both traces of one location of the uplink comparison (one scenario,
-/// Buzz/TDMA/CDMA back to back).
-fn run_uplink_location(k: usize, location: u64, base_seed: u64) -> Vec<UplinkTraceSample> {
-    let seed = base_seed + location * 37 + k as u64;
-    let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
-    (0..2u64)
-        .map(|trace| {
-            let buzz = BuzzProtocol::new(BuzzConfig {
-                periodic_mode: true,
-                ..BuzzConfig::default()
-            })
-            .expect("protocol");
-            let outcome = buzz.run(&mut scenario, trace).expect("buzz run");
-
-            let tdma = TdmaTransfer::new(TdmaConfig::default()).expect("tdma");
-            let mut medium = scenario.medium(trace).expect("medium");
-            let tdma_out = tdma.run(scenario.tags(), &mut medium).expect("tdma run");
-
-            let cdma = CdmaTransfer::new(CdmaConfig::default()).expect("cdma");
-            let mut medium = scenario.medium(trace).expect("medium");
-            let cdma_out = cdma.run(scenario.tags(), &mut medium).expect("cdma run");
-
-            UplinkTraceSample {
-                buzz_time_ms: outcome.transfer.time_ms,
-                buzz_rate: outcome.transfer.bits_per_symbol(),
-                buzz_undecoded: outcome.incorrect_messages as f64,
-                tdma_time_ms: tdma_out.time_ms,
-                tdma_undecoded: tdma_out.lost_count() as f64,
-                cdma_time_ms: cdma_out.time_ms,
-                cdma_undecoded: cdma_out.lost_count() as f64,
-            }
-        })
-        .collect()
-}
-
-/// Folds ordered per-location trace samples into per-run means, adding every
-/// float in the same left-to-right sequence as the original serial loop.
-fn fold_uplink_samples(per_location: &[Vec<UplinkTraceSample>]) -> UplinkComparison {
+/// Folds one parameter's ordered comparison cells into per-run means, adding
+/// every float in the same left-to-right sequence as the original serial
+/// loop.
+fn fold_uplink_cells(cells: &[ComparisonCell]) -> UplinkComparison {
     let mut acc = UplinkComparison {
         buzz_time_ms: 0.0,
         tdma_time_ms: 0.0,
@@ -313,15 +285,18 @@ fn fold_uplink_samples(per_location: &[Vec<UplinkTraceSample>]) -> UplinkCompari
         cdma_undecoded: 0.0,
     };
     let mut runs = 0.0;
-    for sample in per_location.iter().flatten() {
+    for cell in cells {
+        let buzz = cell.outcome(0);
+        let diag = buzz.diagnostics.as_ref().expect("buzz diagnostics");
+        let (tdma, cdma) = (cell.outcome(1), cell.outcome(2));
         runs += 1.0;
-        acc.buzz_time_ms += sample.buzz_time_ms;
-        acc.buzz_rate += sample.buzz_rate;
-        acc.buzz_undecoded += sample.buzz_undecoded;
-        acc.tdma_time_ms += sample.tdma_time_ms;
-        acc.tdma_undecoded += sample.tdma_undecoded;
-        acc.cdma_time_ms += sample.cdma_time_ms;
-        acc.cdma_undecoded += sample.cdma_undecoded;
+        acc.buzz_time_ms += diag.data_time_ms;
+        acc.buzz_rate += diag.bits_per_symbol;
+        acc.buzz_undecoded += buzz.lost_messages as f64;
+        acc.tdma_time_ms += tdma.wall_time_ms;
+        acc.tdma_undecoded += tdma.lost_messages as f64;
+        acc.cdma_time_ms += cdma.wall_time_ms;
+        acc.cdma_undecoded += cdma.lost_messages as f64;
     }
     acc.buzz_time_ms /= runs;
     acc.tdma_time_ms /= runs;
@@ -333,40 +308,35 @@ fn fold_uplink_samples(per_location: &[Vec<UplinkTraceSample>]) -> UplinkCompari
     acc
 }
 
-#[cfg(test)]
-fn run_uplink_comparison(
-    k: usize,
-    locations: u64,
-    base_seed: u64,
-    threads: usize,
-) -> UplinkComparison {
-    let per_location = parallel_map(threads, (0..locations).collect(), |location| {
-        run_uplink_location(k, location, base_seed)
-    });
-    fold_uplink_samples(&per_location)
-}
-
-/// Runs the full `ks × locations` uplink-comparison matrix with one flat
-/// shard per cell, then folds each `k`'s cells in serial order.
+/// Runs the full `ks × locations` uplink-comparison matrix — the
+/// `[Buzz, TDMA, CDMA]` panel over paper-uplink scenarios, two noise traces
+/// per location — and folds each `k`'s cells in serial order.
 fn run_uplink_matrix(
     ks: &[usize],
     locations: u64,
     base_seed: u64,
     threads: usize,
 ) -> Vec<UplinkComparison> {
-    let cells: Vec<(usize, u64)> = ks
-        .iter()
-        .flat_map(|&k| (0..locations).map(move |location| (k, location)))
-        .collect();
-    let samples = parallel_map(threads, cells, |(k, location)| {
-        run_uplink_location(k, location, base_seed)
-    });
-    // `max(1)` (here and in the other per-parameter groupings below): chunk
-    // size 0 panics, and `--locations 0` should degrade to an empty table.
-    samples
-        .chunks(locations.max(1) as usize)
-        .map(fold_uplink_samples)
-        .collect()
+    // `--locations 0`: no comparisons, so the figures emit empty tables.
+    if locations == 0 {
+        return Vec::new();
+    }
+    let buzz = buzz_periodic();
+    let tdma = TdmaProtocol::paper_default().expect("tdma");
+    let cdma = CdmaProtocol::paper_default().expect("cdma");
+    let panel: [&dyn Protocol; 3] = [&buzz, &tdma, &cdma];
+    let groups = compare(
+        &panel,
+        ks,
+        locations,
+        threads,
+        |k, location| {
+            let seed = base_seed + location * 37 + k as u64;
+            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario")
+        },
+        |_| vec![0, 1],
+    );
+    groups.iter().map(|g| fold_uplink_cells(g)).collect()
 }
 
 /// Fig. 10: total data-transfer time vs number of tags.
@@ -447,55 +417,41 @@ pub fn fig12(locations: u64, base_seed: u64, threads: usize) -> ExperimentReport
         ],
     );
     let snrs = [22.0, 15.0, 10.0, 6.0, 4.0];
-    let cells: Vec<(f64, u64)> = snrs
-        .iter()
-        .flat_map(|&snr| (0..locations).map(move |location| (snr, location)))
-        .collect();
-    // One shard per (SNR, location) cell: (buzz decoded, buzz rate,
-    // TDMA decoded, CDMA decoded).
-    let samples = parallel_map(threads, cells, |(snr, location)| {
-        let seed = base_seed + location * 131 + snr as u64;
-        let mut scenario =
-            Scenario::build(ScenarioConfig::challenging(4, seed, snr)).expect("scenario");
-        let buzz = BuzzProtocol::new(BuzzConfig {
-            periodic_mode: true,
-            ..BuzzConfig::default()
-        })
-        .expect("protocol");
-        let outcome = buzz.run(&mut scenario, location).expect("buzz run");
-
-        let tdma = TdmaTransfer::new(TdmaConfig::default()).expect("tdma");
-        let mut medium = scenario.medium(location).expect("medium");
-        let tdma_dec = tdma
-            .run(scenario.tags(), &mut medium)
-            .expect("tdma run")
-            .delivered_count() as f64;
-
-        let cdma = CdmaTransfer::new(CdmaConfig::default()).expect("cdma");
-        let mut medium = scenario.medium(location).expect("medium");
-        let cdma_dec = cdma
-            .run(scenario.tags(), &mut medium)
-            .expect("cdma run")
-            .delivered_count() as f64;
-        (
-            outcome.correct_messages as f64,
-            outcome.transfer.bits_per_symbol(),
-            tdma_dec,
-            cdma_dec,
-        )
-    });
-    for (snr, row) in snrs.iter().zip(samples.chunks(locations.max(1) as usize)) {
+    if locations == 0 {
+        return report;
+    }
+    let buzz = buzz_periodic();
+    let tdma = TdmaProtocol::paper_default().expect("tdma");
+    let cdma = CdmaProtocol::paper_default().expect("cdma");
+    let panel: [&dyn Protocol; 3] = [&buzz, &tdma, &cdma];
+    let groups = compare(
+        &panel,
+        &snrs,
+        locations,
+        threads,
+        |snr, location| {
+            let seed = base_seed + location * 131 + snr as u64;
+            Scenario::build(ScenarioConfig::challenging(4, seed, snr)).expect("scenario")
+        },
+        |location| vec![location],
+    );
+    for (snr, cells) in snrs.iter().zip(&groups) {
         let mut buzz_dec = 0.0;
         let mut buzz_rate = 0.0;
         let mut tdma_dec = 0.0;
         let mut cdma_dec = 0.0;
         let mut runs = 0.0;
-        for &(b_dec, b_rate, t_dec, c_dec) in row {
+        for cell in cells {
             runs += 1.0;
-            buzz_dec += b_dec;
-            buzz_rate += b_rate;
-            tdma_dec += t_dec;
-            cdma_dec += c_dec;
+            buzz_dec += cell.outcome(0).delivered_messages as f64;
+            buzz_rate += cell
+                .outcome(0)
+                .diagnostics
+                .as_ref()
+                .expect("buzz diagnostics")
+                .bits_per_symbol;
+            tdma_dec += cell.outcome(1).delivered_messages as f64;
+            cdma_dec += cell.outcome(2).delivered_messages as f64;
         }
         report.push_row(vec![
             format!("{snr:.0}"),
@@ -520,67 +476,36 @@ pub fn fig13(locations: u64, base_seed: u64, threads: usize) -> ExperimentReport
         "Buzz ~ TDMA << CDMA, all growing with the supply voltage",
         &["V0 (V)", "Buzz (uJ)", "TDMA (uJ)", "CDMA (uJ)"],
     );
-    let model = EnergyModel::moo();
     let v0s = [3.0f64, 4.0, 5.0];
-    let cells: Vec<(f64, u64)> = v0s
-        .iter()
-        .flat_map(|&v0| (0..locations).map(move |location| (v0, location)))
-        .collect();
-    // One shard per (voltage, location) cell: (Buzz, TDMA, CDMA) energy in uJ.
-    let samples = parallel_map(threads, cells, |(v0, location)| {
-        let mut cfg = ScenarioConfig::paper_uplink(8, base_seed + location * 17);
-        cfg.starting_voltage_v = v0;
-        let mut scenario = Scenario::build(cfg).expect("scenario");
-
-        let buzz = BuzzProtocol::new(BuzzConfig {
-            periodic_mode: true,
-            ..BuzzConfig::default()
-        })
-        .expect("protocol");
-        let buzz_uj = buzz
-            .run(&mut scenario, location)
-            .expect("buzz run")
-            .mean_energy_j()
-            * 1e6;
-
-        let energy_of = |transitions: &[u64], active: &[f64]| -> f64 {
-            transitions
-                .iter()
-                .zip(active)
-                .map(|(&tr, &s)| {
-                    model.reply_energy_j(
-                        &TransmissionProfile {
-                            active_time_s: s,
-                            transitions: tr,
-                        },
-                        v0,
-                    )
-                })
-                .sum::<f64>()
-                / transitions.len() as f64
-                * 1e6
-        };
-        let tdma = TdmaTransfer::new(TdmaConfig::default()).expect("tdma");
-        let mut medium = scenario.medium(location).expect("medium");
-        let t = tdma.run(scenario.tags(), &mut medium).expect("tdma run");
-        let tdma_uj = energy_of(&t.per_tag_transitions, &t.per_tag_active_s);
-
-        let cdma = CdmaTransfer::new(CdmaConfig::default()).expect("cdma");
-        let mut medium = scenario.medium(location).expect("medium");
-        let c = cdma.run(scenario.tags(), &mut medium).expect("cdma run");
-        let cdma_uj = energy_of(&c.per_tag_transitions, &c.per_tag_active_s);
-        (buzz_uj, tdma_uj, cdma_uj)
-    });
-    for (v0, row) in v0s.iter().zip(samples.chunks(locations.max(1) as usize)) {
+    if locations == 0 {
+        return report;
+    }
+    let buzz = buzz_periodic();
+    let tdma = TdmaProtocol::paper_default().expect("tdma");
+    let cdma = CdmaProtocol::paper_default().expect("cdma");
+    let panel: [&dyn Protocol; 3] = [&buzz, &tdma, &cdma];
+    let groups = compare(
+        &panel,
+        &v0s,
+        locations,
+        threads,
+        |v0, location| {
+            let mut cfg = ScenarioConfig::paper_uplink(8, base_seed + location * 17);
+            cfg.starting_voltage_v = v0;
+            Scenario::build(cfg).expect("scenario")
+        },
+        |location| vec![location],
+    );
+    for (v0, cells) in v0s.iter().zip(&groups) {
         let mut buzz_uj = 0.0;
         let mut tdma_uj = 0.0;
         let mut cdma_uj = 0.0;
         let mut runs = 0.0;
-        for &(b, t, c) in row {
+        for cell in cells {
             runs += 1.0;
-            buzz_uj += b;
-            tdma_uj += t;
-            cdma_uj += c;
+            buzz_uj += cell.outcome(0).mean_energy_j() * 1e6;
+            tdma_uj += cell.outcome(1).mean_energy_j() * 1e6;
+            cdma_uj += cell.outcome(2).mean_energy_j() * 1e6;
         }
         report.push_row(vec![
             format!("{v0:.0}"),
@@ -603,43 +528,46 @@ pub fn fig14(locations: u64, base_seed: u64, threads: usize) -> ExperimentReport
         &["K", "Buzz (ms)", "FSA (ms)", "FSA+K (ms)", "Buzz exact"],
     );
     let ks = [4usize, 8, 12, 16];
-    let cells: Vec<(usize, u64)> = ks
-        .iter()
-        .flat_map(|&k| (0..locations).map(move |location| (k, location)))
-        .collect();
-    // One shard per (K, location) cell: (Buzz ms, FSA ms, FSA+K ms, exact?).
-    let samples = parallel_map(threads, cells, |(k, location)| {
-        let seed = base_seed + location * 53 + k as u64;
-        let mut scenario =
-            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
-        let outcome = BuzzProtocol::new(BuzzConfig::default())
-            .expect("protocol")
-            .run(&mut scenario, location)
-            .expect("buzz run");
-        let ident = outcome.identification.expect("event-driven mode");
-        let fsa = fsa_identification(&scenario, location)
-            .expect("fsa")
-            .time_ms;
-        let fsa_k = fsa_with_known_k(&scenario, ident.k_estimate.k_rounded(), location)
-            .expect("fsa+k")
-            .time_ms;
-        (ident.time_ms, fsa, fsa_k, ident.is_exact())
-    });
+    if locations == 0 {
+        return report;
+    }
+    let buzz = buzz_full();
+    let fsa = FsaIdentification;
+    let fsa_k = FsaWithEstimatedK;
+    // Panel order matters: FSA+K̂ runs last so `run_after` can read Buzz's
+    // K̂ estimate from the cell's prior diagnostics.
+    let panel: [&dyn Protocol; 3] = [&buzz, &fsa, &fsa_k];
+    let groups = compare(
+        &panel,
+        &ks,
+        locations,
+        threads,
+        |k, location| {
+            let seed = base_seed + location * 53 + k as u64;
+            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario")
+        },
+        |location| vec![location],
+    );
     let mut gain_at_16 = 0.0;
-    for (&k, row) in ks.iter().zip(samples.chunks(locations.max(1) as usize)) {
+    for (&k, cells) in ks.iter().zip(&groups) {
         let mut buzz_ms = 0.0;
         let mut fsa_ms = 0.0;
         let mut fsa_k_ms = 0.0;
         let mut exact = 0usize;
         let mut runs = 0.0;
-        for &(buzz, fsa, fsa_k, is_exact) in row {
+        for cell in cells {
+            let diag = cell
+                .outcome(0)
+                .diagnostics
+                .as_ref()
+                .expect("buzz diagnostics");
             runs += 1.0;
-            buzz_ms += buzz;
-            if is_exact {
+            buzz_ms += diag.identification_time_ms.expect("event-driven mode");
+            if diag.identification_exact == Some(true) {
                 exact += 1;
             }
-            fsa_ms += fsa;
-            fsa_k_ms += fsa_k;
+            fsa_ms += cell.outcome(1).wall_time_ms;
+            fsa_k_ms += cell.outcome(2).wall_time_ms;
         }
         if k == 16 {
             gain_at_16 = fsa_ms / buzz_ms.max(1e-9);
@@ -724,43 +652,39 @@ pub fn headline(locations: u64, base_seed: u64, threads: usize) -> ExperimentRep
         &["scheme", "identification (ms)", "data (ms)", "total (ms)"],
     );
     let k = 16usize;
-    // One shard per location: (Buzz ident ms, Buzz data ms, Gen-2 ident ms,
-    // Gen-2 data ms).
-    let samples = parallel_map(threads, (0..locations).collect(), |location| {
-        let seed = base_seed + location * 211;
-        let mut scenario =
-            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario");
-        let outcome = BuzzProtocol::new(BuzzConfig::default())
-            .expect("protocol")
-            .run(&mut scenario, location)
-            .expect("buzz run");
-        let gen2_ident = fsa_identification(&scenario, location)
-            .expect("fsa")
-            .time_ms;
-        let tdma = TdmaTransfer::new(TdmaConfig::default()).expect("tdma");
-        let mut medium = scenario.medium(location).expect("medium");
-        let gen2_data = tdma
-            .run(scenario.tags(), &mut medium)
-            .expect("tdma run")
-            .time_ms;
-        (
-            outcome.identification.as_ref().expect("ident").time_ms,
-            outcome.transfer.time_ms,
-            gen2_ident,
-            gen2_data,
-        )
-    });
+    // One comparison cell per location; the panel pits Buzz's two phases
+    // against the commercial pipeline (FSA identification + TDMA data).
+    let buzz = buzz_full();
+    let fsa = FsaIdentification;
+    let tdma = TdmaProtocol::paper_default().expect("tdma");
+    let panel: [&dyn Protocol; 3] = [&buzz, &fsa, &tdma];
+    let groups = compare(
+        &panel,
+        &[k],
+        locations,
+        threads,
+        |k, location| {
+            let seed = base_seed + location * 211;
+            Scenario::build(ScenarioConfig::paper_uplink(k, seed)).expect("scenario")
+        },
+        |location| vec![location],
+    );
     let mut buzz_ident = 0.0;
     let mut buzz_data = 0.0;
     let mut gen2_ident = 0.0;
     let mut gen2_data = 0.0;
     let mut runs = 0.0;
-    for &(b_ident, b_data, g_ident, g_data) in &samples {
+    for cell in &groups[0] {
+        let diag = cell
+            .outcome(0)
+            .diagnostics
+            .as_ref()
+            .expect("buzz diagnostics");
         runs += 1.0;
-        buzz_ident += b_ident;
-        buzz_data += b_data;
-        gen2_ident += g_ident;
-        gen2_data += g_data;
+        buzz_ident += diag.identification_time_ms.expect("ident");
+        buzz_data += diag.data_time_ms;
+        gen2_ident += cell.outcome(1).wall_time_ms;
+        gen2_data += cell.outcome(2).wall_time_ms;
     }
     let buzz_total = (buzz_ident + buzz_data) / runs;
     let gen2_total = (gen2_ident + gen2_data) / runs;
@@ -854,7 +778,7 @@ mod tests {
     #[test]
     fn quick_uplink_comparison_shows_buzz_ahead() {
         // One location is enough for a smoke check of the Fig. 10 machinery.
-        let c = run_uplink_comparison(8, 1, 42, 1);
+        let c = &run_uplink_matrix(&[8], 1, 42, 1)[0];
         assert!(c.buzz_time_ms < c.tdma_time_ms);
         assert!(c.buzz_undecoded <= c.tdma_undecoded + 0.51);
     }

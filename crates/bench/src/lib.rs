@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod parallelism;
 pub mod report;
 
+pub use compare::{compare, ComparisonCell};
 pub use report::ExperimentReport;

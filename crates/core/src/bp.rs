@@ -153,18 +153,44 @@ fn flip_gain(s: Complex, c: Complex, deg: usize) -> f64 {
 }
 
 impl<'a> PositionState<'a> {
-    /// Builds the state for `position` from a deterministic pseudorandom
-    /// starting assignment (restart 0 is all-zeros, the fastest start when
-    /// collisions are sparse; locked nodes always use their verified bit).
+    /// Allocates a state sized for `decoder` and seeds it for
+    /// (`position`, `restart`).  Later restarts re-seed the same allocations
+    /// through [`PositionState::reinit`] instead of rebuilding from scratch.
     fn new(decoder: &'a BitFlippingDecoder, position: usize, restart: u64) -> Self {
         let k = decoder.channels.len();
         let l = decoder.d.rows();
+        // The tracker is seeded from the placeholder gains and immediately
+        // re-run by `reinit`; building it from the gains buffer avoids a
+        // throwaway allocation.
+        let gains = vec![f64::NEG_INFINITY; k];
+        let tracker = MaxTracker::new(&gains);
+        let mut state = Self {
+            decoder,
+            b: vec![false; k],
+            residual: vec![Complex::ZERO; l],
+            residual_sums: vec![Complex::ZERO; k],
+            gains,
+            tracker,
+            touched: Vec::with_capacity(k),
+            touched_mark: vec![false; k],
+        };
+        state.reinit(position, restart);
+        state
+    }
+
+    /// Re-seeds every buffer in place for `position` from a deterministic
+    /// pseudorandom starting assignment (restart 0 is all-zeros, the fastest
+    /// start when collisions are sparse; locked nodes always use their
+    /// verified bit).  Performs exactly the arithmetic the from-scratch build
+    /// would, so reusing a state cannot change a decode trajectory.
+    fn reinit(&mut self, position: usize, restart: u64) {
+        let decoder = self.decoder;
         let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(
             0xb17_f11b ^ position as u64,
-            SplitMix64::mix(l as u64, restart),
+            SplitMix64::mix(decoder.d.rows() as u64, restart),
         ));
-        let b: Vec<bool> = (0..k)
-            .map(|i| match &decoder.locked[i] {
+        for (i, bit) in self.b.iter_mut().enumerate() {
+            *bit = match &decoder.locked[i] {
                 Some(frame) => frame[position],
                 None => {
                     if restart == 0 {
@@ -173,48 +199,36 @@ impl<'a> PositionState<'a> {
                         rng.next_bit()
                     }
                 }
-            })
-            .collect();
-        let residual: Vec<Complex> = (0..l)
-            .map(|j| {
-                let fit: Complex = decoder
-                    .d
-                    .row(j)
-                    .iter()
-                    .filter(|&&i| b[i])
-                    .map(|&i| decoder.channels[i])
-                    .sum();
-                decoder.y[j][position] - fit
-            })
-            .collect();
-        let residual_sums: Vec<Complex> = (0..k)
-            .map(|i| decoder.d.col(i).iter().map(|&j| residual[j]).sum())
-            .collect();
-        let gains: Vec<f64> = (0..k)
-            .map(|i| {
-                if decoder.locked[i].is_some() {
-                    f64::NEG_INFINITY
-                } else {
-                    let c = if b[i] {
-                        -decoder.channels[i]
-                    } else {
-                        decoder.channels[i]
-                    };
-                    flip_gain(residual_sums[i], c, decoder.d.col(i).len())
-                }
-            })
-            .collect();
-        let tracker = MaxTracker::new(&gains);
-        Self {
-            decoder,
-            b,
-            residual,
-            residual_sums,
-            gains,
-            tracker,
-            touched: Vec::with_capacity(k),
-            touched_mark: vec![false; k],
+            };
         }
+        for (j, slot_residual) in self.residual.iter_mut().enumerate() {
+            let fit: Complex = decoder
+                .d
+                .row(j)
+                .iter()
+                .filter(|&&i| self.b[i])
+                .map(|&i| decoder.channels[i])
+                .sum();
+            *slot_residual = decoder.y[j][position] - fit;
+        }
+        for (i, sum) in self.residual_sums.iter_mut().enumerate() {
+            *sum = decoder.d.col(i).iter().map(|&j| self.residual[j]).sum();
+        }
+        for i in 0..self.gains.len() {
+            self.gains[i] = if decoder.locked[i].is_some() {
+                f64::NEG_INFINITY
+            } else {
+                let c = if self.b[i] {
+                    -decoder.channels[i]
+                } else {
+                    decoder.channels[i]
+                };
+                flip_gain(self.residual_sums[i], c, decoder.d.col(i).len())
+            };
+        }
+        self.tracker.rebuild(&self.gains);
+        self.touched.clear();
+        self.touched_mark.fill(false);
     }
 
     /// The signal change flipping `node` would cause in its slots.
@@ -651,33 +665,41 @@ impl BitFlippingDecoder {
 
     /// Greedy bit-flipping for one bit position across all nodes, with a small
     /// number of random restarts to escape local minima (the error surface of
-    /// a dense collision has more local minima than a sparse one; restarts are
-    /// cheap because the incremental state costs O(nnz) to build).  Returns
-    /// the best assignment and its final slot residuals.
+    /// a dense collision has more local minima than a sparse one).  One
+    /// [`PositionState`] serves every restart — `reinit` re-seeds its buffers
+    /// and tournament tree in place, so a restart costs O(nnz) arithmetic but
+    /// no allocation.  Returns the best assignment and its final slot
+    /// residuals.
     fn decode_position(&self, position: usize) -> (Vec<bool>, Vec<Complex>) {
         const RESTARTS: u64 = 4;
-        let mut best: Option<(f64, Vec<bool>, Vec<Complex>)> = None;
+        let mut state = PositionState::new(self, position, 0);
+        let mut best_error = f64::INFINITY;
+        let mut best_bits: Vec<bool> = Vec::new();
+        let mut best_residual: Vec<Complex> = Vec::new();
         for restart in 0..RESTARTS {
-            let (error, bits, residual) = self.decode_position_once(position, restart);
-            if best.as_ref().is_none_or(|(e, _, _)| error < *e) {
-                best = Some((error, bits, residual));
+            if restart > 0 {
+                state.reinit(position, restart);
+            }
+            self.descend(&mut state);
+            let error = state.error();
+            // Restart 0 is accepted unconditionally (matching the historical
+            // `is_none_or` acceptance) so a non-finite error still yields a
+            // best-effort length-K assignment rather than empty vectors.
+            if restart == 0 || error < best_error {
+                best_error = error;
+                best_bits.clone_from(&state.b);
+                best_residual.clone_from(&state.residual);
             }
             // A (near-)zero residual cannot be improved.
-            if best.as_ref().is_some_and(|(e, _, _)| *e < 1e-9) {
+            if best_error < 1e-9 {
                 break;
             }
         }
-        best.map(|(_, b, r)| (b, r)).unwrap_or_default()
+        (best_bits, best_residual)
     }
 
-    /// One greedy descent from a pseudorandom starting point; returns the
-    /// final residual error, bit assignment, and slot residuals.
-    fn decode_position_once(
-        &self,
-        position: usize,
-        restart: u64,
-    ) -> (f64, Vec<bool>, Vec<Complex>) {
-        let mut state = PositionState::new(self, position, restart);
+    /// One greedy descent from the state's current starting point.
+    fn descend(&self, state: &mut PositionState<'_>) {
         for _ in 0..self.max_flips_per_position {
             let (best, best_gain) = state.best_single();
             // Flip the single best bit when it has positive gain, otherwise
@@ -693,7 +715,6 @@ impl BitFlippingDecoder {
                 break;
             }
         }
-        (state.error(), state.b, state.residual)
     }
 }
 
@@ -1119,6 +1140,32 @@ mod tests {
                     let joint = state.gains[i] + state.gains[l] - 2.0 * shared as f64 * cross;
                     assert_close(joint, reference_pair_gain(&state, i, l), "pair gain")?;
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn reinit_reproduces_a_fresh_state_bit_for_bit() {
+        // The restart loop reuses one PositionState; re-seeding a dirtied
+        // state must be indistinguishable from building a fresh one.
+        let channels = diverse_channels(6, 17);
+        let (decoder, _frames) = make_problem(&channels, 16, 0.5, 0.04, 17);
+        for position in [0usize, 5, 36] {
+            let mut reused = PositionState::new(&decoder, position, 0);
+            reused.flip_all(&[0]);
+            reused.flip_all(&[3, 5]);
+            for restart in 0..4u64 {
+                reused.reinit(position, restart);
+                let fresh = PositionState::new(&decoder, position, restart);
+                assert_eq!(reused.b, fresh.b);
+                assert_eq!(reused.residual, fresh.residual);
+                assert_eq!(reused.residual_sums, fresh.residual_sums);
+                let reused_bits: Vec<u64> = reused.gains.iter().map(|g| g.to_bits()).collect();
+                let fresh_bits: Vec<u64> = fresh.gains.iter().map(|g| g.to_bits()).collect();
+                assert_eq!(reused_bits, fresh_bits);
+                assert_eq!(reused.tracker.best(), fresh.tracker.best());
+                assert!(reused.touched.is_empty());
+                assert!(reused.touched_mark.iter().all(|&m| !m));
             }
         }
     }

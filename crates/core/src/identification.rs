@@ -227,6 +227,10 @@ impl Identifier {
         let timing = self.config.timing;
         let mut slots = IdentificationSlots::default();
         let mut time_s = 0.0;
+        // Protocol-local slot clock driving scenario dynamics (mobility,
+        // interference bursts) across all three stages; a no-op on static
+        // media.
+        let mut slot_clock: u64 = 0;
 
         // ---- Stage 1: estimate K -------------------------------------------------
         // Reader trigger.
@@ -252,6 +256,8 @@ impl Identifier {
                 let bits: Vec<bool> = tag_streams.iter_mut().map(BiasedBits::next_bit).collect();
                 slots.estimation += 1;
                 time_s += timing.uplink_symbol_s();
+                medium.begin_slot(slot_clock);
+                slot_clock += 1;
                 if medium.observe_occupancy(&bits)? == SlotObservation::Empty {
                     empty += 1;
                 }
@@ -308,6 +314,8 @@ impl Identifier {
                     .collect();
                 slots.bucket += 1;
                 time_s += timing.uplink_symbol_s();
+                medium.begin_slot(slot_clock);
+                slot_clock += 1;
                 occupied[bucket] = medium.observe_occupancy(&bits)? == SlotObservation::Occupied;
             }
             let candidates = hasher.surviving_ids(id_space.size(), &occupied)?;
@@ -358,6 +366,8 @@ impl Identifier {
                     .collect();
                 slots.compressive += 1;
                 time_s += timing.uplink_symbol_s();
+                medium.begin_slot(slot_clock);
+                slot_clock += 1;
                 measurements.push(medium.observe(&bits)?);
             }
 

@@ -21,6 +21,10 @@
 //! * **End-to-end protocol** ([`protocol`]): identification followed by data
 //!   transfer, with the timing, throughput, reliability, and energy metrics
 //!   ([`metrics`]) that the paper's evaluation reports.
+//! * **Unified session API** ([`session`]): the [`session::Protocol`] trait
+//!   and [`session::SessionOutcome`] type every compared scheme (Buzz and
+//!   the TDMA/CDMA/FSA baselines) speaks, so comparison harnesses are
+//!   written once against `&[&dyn session::Protocol]`.
 //! * **Toy example** ([`toy`]): the §3.2 illustration (Tables 1 and 2) of why
 //!   designing for collisions improves id distinguishability.
 //!
@@ -49,6 +53,7 @@ pub mod max_tracker;
 pub mod metrics;
 pub mod protocol;
 pub mod rateless;
+pub mod session;
 pub mod toy;
 pub mod transfer;
 
@@ -57,6 +62,7 @@ pub use identification::{IdentificationConfig, IdentificationOutcome, Identifier
 pub use metrics::{EfficiencyReport, ReliabilityReport};
 pub use protocol::{BuzzConfig, BuzzOutcome, BuzzProtocol};
 pub use rateless::{ParticipationCode, RatelessEncoder};
+pub use session::{Protocol, SessionDiagnostics, SessionError, SessionOutcome, SessionResult};
 pub use transfer::{DataTransfer, TransferConfig, TransferOutcome};
 
 /// Errors produced by the Buzz protocol.

@@ -82,6 +82,24 @@ impl MaxTracker {
         }
     }
 
+    /// Replaces every key at once and reruns the whole tournament in place —
+    /// the bulk analogue of [`MaxTracker::set`], used when a decoder restart
+    /// re-seeds all gains.  Reuses the existing tree allocation; `keys` must
+    /// have the tracker's length.
+    pub fn rebuild(&mut self, keys: &[f64]) {
+        assert_eq!(
+            keys.len(),
+            self.len,
+            "rebuild key count must match the tracked length"
+        );
+        for (i, &k) in keys.iter().enumerate() {
+            self.tree[self.base + i] = (k, i);
+        }
+        for node in (1..self.base).rev() {
+            self.tree[node] = Self::winner(self.tree[2 * node], self.tree[2 * node + 1]);
+        }
+    }
+
     /// The `(index, key)` with the maximum key; ties go to the highest index
     /// (matching `Iterator::max_by`, which keeps the last maximum).
     #[must_use]
@@ -151,6 +169,21 @@ mod tests {
         tracker.set(0, 2.0);
         tracker.set(2, 2.0);
         assert_eq!(tracker.best(), (2, 2.0));
+    }
+
+    #[test]
+    fn rebuild_matches_a_fresh_tracker() {
+        for len in [1usize, 2, 3, 5, 8, 13, 31] {
+            let first: Vec<f64> = (0..len).map(|i| (i as f64 * 3.7) % 4.2 - 2.0).collect();
+            let second: Vec<f64> = (0..len).map(|i| (i as f64 * 1.9) % 6.0 - 3.0).collect();
+            let mut reused = MaxTracker::new(&first);
+            reused.rebuild(&second);
+            let fresh = MaxTracker::new(&second);
+            assert_eq!(reused.best(), fresh.best(), "len {len}");
+            for i in 0..len {
+                assert_eq!(reused.key(i), fresh.key(i));
+            }
+        }
     }
 
     #[test]

@@ -216,6 +216,9 @@ impl DataTransfer {
         let mut final_state = None;
 
         for slot in 0..budget as u64 {
+            // Slot boundary: scenarios with dynamics (mobility, interference
+            // bursts) evolve the medium here; static scenarios take a no-op.
+            medium.begin_slot(slot);
             // Tag side: every physical tag decides from its own temporary id.
             let tag_participation: Vec<bool> = tags
                 .iter()

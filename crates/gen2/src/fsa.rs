@@ -135,6 +135,13 @@ impl FsaOutcome {
         self.total_time_s * 1e3
     }
 
+    /// Number of tags that were present but never identified (non-zero only
+    /// for truncated runs).
+    #[must_use]
+    pub fn unidentified(&self) -> usize {
+        self.population.saturating_sub(self.identified)
+    }
+
     /// Slot efficiency: fraction of slots that were successes (the classic
     /// FSA ceiling is `1/e ≈ 36.8 %`).
     #[must_use]
@@ -409,5 +416,12 @@ mod tests {
         assert_eq!(out.total_slots(), 6);
         assert!((out.time_ms() - 10.0).abs() < 1e-12);
         assert!((out.efficiency() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(out.unidentified(), 0);
+        let truncated = FsaOutcome {
+            identified: 1,
+            population: 3,
+            ..out
+        };
+        assert_eq!(truncated.unidentified(), 2);
     }
 }

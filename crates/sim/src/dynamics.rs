@@ -1,0 +1,406 @@
+//! Pluggable per-slot scenario dynamics.
+//!
+//! The paper's experiments keep the environment frozen while the compared
+//! schemes run back-to-back, but real deployments are not static: carts move,
+//! other radios burst, and tag populations mix strong and weak transmitters.
+//! A [`ScenarioDynamics`] implementation captures one such time-varying
+//! effect as a *pure function* of the slot index (plus deterministic seed
+//! material), so dynamic scenarios keep the repo-wide reproducibility
+//! contract: the same `(ScenarioConfig, dynamics, seed)` triple always
+//! produces the same channel/noise trajectory, for every protocol.
+//!
+//! Dynamics are attached through [`crate::scenario::ScenarioBuilder`] and
+//! applied by the [`crate::medium::Medium`] at slot boundaries
+//! ([`crate::medium::Medium::begin_slot`]): each slot starts from the
+//! scenario's *base* channels and noise floor, then every attached dynamics
+//! perturbs that slot's view in order.  A scenario with no dynamics never
+//! pays for the machinery — `begin_slot` is a no-op and the medium behaves
+//! exactly as it did before dynamics existed.
+//!
+//! # Time-base caveat
+//!
+//! "Slot" is *protocol-local*: Buzz advances the dynamics once per
+//! identification or collision slot (12.5 µs symbols), CDMA once per spread
+//! bit period, and TDMA once per whole-message polling round, so one
+//! dynamics instance describes
+//! a per-slot-index perturbation sequence, not a wall-clock trajectory
+//! shared across schemes.  Cross-scheme tables built over dynamic scenarios
+//! compare each scheme against its own slot clock — calibrate rates
+//! per-scheme (or keep them qualitative) before reading such a table as an
+//! apples-to-apples wall-clock experiment.  Schemes simulated without a PHY
+//! medium at all (Gen-2 FSA's analytic inventory model) never observe
+//! dynamics; they serve as an unaffected control in the examples.
+
+use core::fmt;
+
+use backscatter_phy::channel::Channel;
+use backscatter_phy::complex::Complex;
+use backscatter_prng::{Rng64, SplitMix64, Xoshiro256};
+
+use crate::{SimError, SimResult};
+
+/// The per-slot view a [`ScenarioDynamics`] implementation perturbs.
+///
+/// `channels` starts each slot as a copy of the scenario's base channels and
+/// `noise_scale` starts at `1.0`; dynamics mutate both in attachment order.
+#[derive(Debug)]
+pub struct SlotView<'a> {
+    /// The slot index since the start of the protocol phase.
+    pub slot: u64,
+    /// Per-tag channel coefficients for this slot (pre-seeded with the base
+    /// channels).
+    pub channels: &'a mut [Channel],
+    /// Multiplier on the medium's base noise power for this slot.
+    pub noise_scale: &'a mut f64,
+    /// A seed that is stable across every slot of one run for one attached
+    /// dynamics instance — derive per-tag constants (drift directions, power
+    /// offsets) from it so they do not get redrawn every slot.
+    pub stream_seed: u64,
+    /// A generator seeded per `(dynamics, slot)` for effects that *should*
+    /// vary slot to slot (jitter, burst phases).
+    pub rng: &'a mut Xoshiro256,
+}
+
+/// One composable time-varying effect on the shared medium.
+///
+/// Implementations must be deterministic: everything they do must derive
+/// from `SlotView::slot`, `SlotView::stream_seed`, and `SlotView::rng` —
+/// never from ambient state — so that scenario runs stay bit-reproducible.
+pub trait ScenarioDynamics: fmt::Debug + Send + Sync {
+    /// A short label for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Perturbs one slot's channels/noise in place.
+    fn apply(&self, view: &mut SlotView<'_>);
+}
+
+/// Derives the per-tag constant seed stream dynamics implementations share.
+fn tag_stream(stream_seed: u64, tag: usize) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(SplitMix64::mix(stream_seed, 0x7a9_0001 + tag as u64))
+}
+
+/// Per-slot channel drift: the cart (or the environment) is moving.
+///
+/// Each tag's channel phase rotates at a constant per-slot rate whose
+/// magnitude and sign are drawn once per run from the dynamics stream seed,
+/// and its amplitude takes a small per-slot fading wobble.  Over a data
+/// phase this decorrelates the reader's identification-time channel
+/// estimates from the truth, which is exactly the stress mobility puts on
+/// Buzz's interference cancellation.
+#[derive(Debug, Clone, Copy)]
+pub struct Mobility {
+    /// Maximum per-slot phase drift magnitude in radians (per tag rates are
+    /// uniform in `[drift/2, drift]` with a random sign).
+    pub max_phase_drift_rad_per_slot: f64,
+    /// Peak-to-peak fractional amplitude wobble per slot (0 disables).
+    pub amplitude_wobble: f64,
+}
+
+impl Mobility {
+    /// A walking-pace default: ~0.02 rad of phase drift per 12.5 µs slot
+    /// with a 5 % amplitude wobble.
+    #[must_use]
+    pub fn walking_pace() -> Self {
+        Self {
+            max_phase_drift_rad_per_slot: 0.02,
+            amplitude_wobble: 0.05,
+        }
+    }
+
+    /// Creates a mobility dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-finite or negative
+    /// rates, or a wobble outside `[0, 1)`.
+    pub fn new(max_phase_drift_rad_per_slot: f64, amplitude_wobble: f64) -> SimResult<Self> {
+        if !(max_phase_drift_rad_per_slot >= 0.0 && max_phase_drift_rad_per_slot.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "phase drift must be finite and non-negative",
+            ));
+        }
+        if !(0.0..1.0).contains(&amplitude_wobble) {
+            return Err(SimError::InvalidParameter(
+                "amplitude wobble must be in [0, 1)",
+            ));
+        }
+        Ok(Self {
+            max_phase_drift_rad_per_slot,
+            amplitude_wobble,
+        })
+    }
+}
+
+impl ScenarioDynamics for Mobility {
+    fn name(&self) -> &'static str {
+        "mobility"
+    }
+
+    fn apply(&self, view: &mut SlotView<'_>) {
+        let slot = view.slot as f64;
+        for (i, channel) in view.channels.iter_mut().enumerate() {
+            let mut tag_rng = tag_stream(view.stream_seed, i);
+            let sign = if tag_rng.next_bit() { 1.0 } else { -1.0 };
+            let rate = self.max_phase_drift_rad_per_slot * (0.5 + 0.5 * tag_rng.next_f64()) * sign;
+            let wobble = if self.amplitude_wobble > 0.0 {
+                1.0 + self.amplitude_wobble * (view.rng.next_f64() - 0.5)
+            } else {
+                1.0
+            };
+            channel.coefficient *= Complex::from_polar(wobble, rate * slot);
+        }
+    }
+}
+
+/// On/off interference bursts from a co-located radio.
+///
+/// Time is divided into frames of `period_slots`; each frame carries one
+/// burst of `burst_slots` slots whose offset within the frame is drawn
+/// deterministically per frame.  During a burst the slot's noise power is
+/// multiplied by `noise_multiplier`.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyInterference {
+    /// Frame length in slots.
+    pub period_slots: u64,
+    /// Burst length in slots (≤ `period_slots`).
+    pub burst_slots: u64,
+    /// Noise-power multiplier while a burst is on (≥ 1).
+    pub noise_multiplier: f64,
+}
+
+impl BurstyInterference {
+    /// A default matching a duty-cycled 802.11 interferer: 3-slot bursts
+    /// every 10 slots at 20× the noise floor.
+    #[must_use]
+    pub fn wifi_like() -> Self {
+        Self {
+            period_slots: 10,
+            burst_slots: 3,
+            noise_multiplier: 20.0,
+        }
+    }
+
+    /// Creates a bursty-interference dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a zero period, a burst
+    /// longer than the period, or a multiplier below 1.
+    pub fn new(period_slots: u64, burst_slots: u64, noise_multiplier: f64) -> SimResult<Self> {
+        if period_slots == 0 {
+            return Err(SimError::InvalidParameter("period must be non-zero"));
+        }
+        if burst_slots > period_slots {
+            return Err(SimError::InvalidParameter(
+                "burst cannot be longer than the period",
+            ));
+        }
+        if !(noise_multiplier >= 1.0 && noise_multiplier.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "noise multiplier must be finite and at least 1",
+            ));
+        }
+        Ok(Self {
+            period_slots,
+            burst_slots,
+            noise_multiplier,
+        })
+    }
+
+    /// Whether `slot` falls inside a burst for the given stream seed.
+    #[must_use]
+    pub fn is_burst_slot(&self, stream_seed: u64, slot: u64) -> bool {
+        if self.burst_slots == 0 {
+            return false;
+        }
+        let frame = slot / self.period_slots;
+        let mut frame_rng = Xoshiro256::seed_from_u64(SplitMix64::mix(stream_seed, frame));
+        let offset = frame_rng.next_bounded(self.period_slots);
+        let pos = slot % self.period_slots;
+        (pos + self.period_slots - offset) % self.period_slots < self.burst_slots
+    }
+}
+
+impl ScenarioDynamics for BurstyInterference {
+    fn name(&self) -> &'static str {
+        "bursty-interference"
+    }
+
+    fn apply(&self, view: &mut SlotView<'_>) {
+        if self.is_burst_slot(view.stream_seed, view.slot) {
+            *view.noise_scale *= self.noise_multiplier;
+        }
+    }
+}
+
+/// A static near-far spread beyond what geometry already produces: each tag's
+/// channel amplitude is attenuated by a per-tag draw from `[0, spread_db]`.
+///
+/// Slot-independent, but expressed as a dynamics so it composes with the
+/// others (e.g. "heterogeneous powers *and* mobility") without another
+/// scenario constructor.
+#[derive(Debug, Clone, Copy)]
+pub struct HeterogeneousTagPower {
+    /// Maximum per-tag attenuation in dB.
+    pub spread_db: f64,
+}
+
+impl HeterogeneousTagPower {
+    /// Creates a heterogeneous-power dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a negative or non-finite
+    /// spread.
+    pub fn new(spread_db: f64) -> SimResult<Self> {
+        if !(spread_db >= 0.0 && spread_db.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "power spread must be finite and non-negative",
+            ));
+        }
+        Ok(Self { spread_db })
+    }
+}
+
+impl ScenarioDynamics for HeterogeneousTagPower {
+    fn name(&self) -> &'static str {
+        "heterogeneous-tag-power"
+    }
+
+    fn apply(&self, view: &mut SlotView<'_>) {
+        for (i, channel) in view.channels.iter_mut().enumerate() {
+            let mut tag_rng = tag_stream(view.stream_seed, i);
+            let attenuation_db = self.spread_db * tag_rng.next_f64();
+            let amplitude = 10f64.powf(-attenuation_db / 20.0);
+            channel.coefficient = channel.coefficient * amplitude;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_channels() -> Vec<Channel> {
+        vec![
+            Channel::from_coefficient(Complex::new(1.0, 0.0)),
+            Channel::from_coefficient(Complex::new(0.0, 0.5)),
+            Channel::from_coefficient(Complex::new(-0.3, 0.4)),
+        ]
+    }
+
+    fn apply_once(
+        dynamics: &dyn ScenarioDynamics,
+        slot: u64,
+        stream_seed: u64,
+    ) -> (Vec<Channel>, f64) {
+        let mut channels = base_channels();
+        let mut noise_scale = 1.0;
+        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(stream_seed, slot));
+        let mut view = SlotView {
+            slot,
+            channels: &mut channels,
+            noise_scale: &mut noise_scale,
+            stream_seed,
+            rng: &mut rng,
+        };
+        dynamics.apply(&mut view);
+        (channels, noise_scale)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Mobility::new(-0.1, 0.0).is_err());
+        assert!(Mobility::new(0.1, 1.0).is_err());
+        assert!(Mobility::new(0.1, 0.1).is_ok());
+        assert!(BurstyInterference::new(0, 0, 2.0).is_err());
+        assert!(BurstyInterference::new(4, 5, 2.0).is_err());
+        assert!(BurstyInterference::new(4, 2, 0.5).is_err());
+        assert!(BurstyInterference::new(4, 2, 2.0).is_ok());
+        assert!(HeterogeneousTagPower::new(-1.0).is_err());
+        assert!(HeterogeneousTagPower::new(12.0).is_ok());
+    }
+
+    #[test]
+    fn mobility_is_deterministic_and_rotates_over_time() {
+        let m = Mobility::new(0.05, 0.0).unwrap();
+        let (a, _) = apply_once(&m, 40, 9);
+        let (b, _) = apply_once(&m, 40, 9);
+        assert_eq!(a, b);
+        // Phase rotation preserves magnitude (wobble disabled) but moves the
+        // coefficient as slots pass.
+        let (later, _) = apply_once(&m, 400, 9);
+        for ((base, at40), at400) in base_channels().iter().zip(&a).zip(&later) {
+            assert!((at40.coefficient.abs() - base.coefficient.abs()).abs() < 1e-12);
+            assert!((at400.coefficient - at40.coefficient).abs() > 1e-6);
+        }
+    }
+
+    #[test]
+    fn mobility_slot_zero_is_the_base_channel() {
+        let m = Mobility::new(0.05, 0.0).unwrap();
+        let (at0, _) = apply_once(&m, 0, 3);
+        for (base, got) in base_channels().iter().zip(&at0) {
+            assert!((got.coefficient - base.coefficient).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bursts_hit_the_configured_duty_cycle() {
+        let b = BurstyInterference::new(10, 3, 20.0).unwrap();
+        let mut burst_slots = 0usize;
+        let total = 10_000u64;
+        for slot in 0..total {
+            let (_, scale) = apply_once(&b, slot, 42);
+            let in_burst = b.is_burst_slot(42, slot);
+            assert_eq!(scale > 1.0, in_burst);
+            if in_burst {
+                assert!((scale - 20.0).abs() < 1e-12);
+                burst_slots += 1;
+            }
+        }
+        let duty = burst_slots as f64 / total as f64;
+        assert!((duty - 0.3).abs() < 0.02, "duty = {duty}");
+    }
+
+    #[test]
+    fn heterogeneous_power_is_static_across_slots() {
+        let h = HeterogeneousTagPower::new(12.0).unwrap();
+        let (a, scale_a) = apply_once(&h, 1, 7);
+        let (b, scale_b) = apply_once(&h, 999, 7);
+        assert_eq!(a, b, "attenuation must not be redrawn per slot");
+        assert_eq!(scale_a, 1.0);
+        assert_eq!(scale_b, 1.0);
+        // At least one tag is attenuated, none is amplified.
+        let base = base_channels();
+        let mut attenuated = 0;
+        for (orig, got) in base.iter().zip(&a) {
+            assert!(got.coefficient.abs() <= orig.coefficient.abs() + 1e-12);
+            if got.coefficient.abs() < orig.coefficient.abs() - 1e-9 {
+                attenuated += 1;
+            }
+        }
+        assert!(attenuated >= 1);
+    }
+
+    #[test]
+    fn dynamics_compose_in_order() {
+        let h = HeterogeneousTagPower::new(6.0).unwrap();
+        let b = BurstyInterference::new(1, 1, 4.0).unwrap();
+        let mut channels = base_channels();
+        let mut noise_scale = 1.0;
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for dynamics in [&h as &dyn ScenarioDynamics, &b] {
+            let mut view = SlotView {
+                slot: 0,
+                channels: &mut channels,
+                noise_scale: &mut noise_scale,
+                stream_seed: 5,
+                rng: &mut rng,
+            };
+            dynamics.apply(&mut view);
+        }
+        assert!((noise_scale - 4.0).abs() < 1e-12);
+        assert!(channels[0].coefficient.abs() < 1.0);
+    }
+}

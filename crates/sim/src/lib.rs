@@ -12,6 +12,9 @@
 //!   cost, active-radio power) behind Fig. 13,
 //! * [`medium`] — the shared air interface: superposition of the reflections
 //!   of whichever tags transmit in a slot, plus carrier leakage and AWGN,
+//! * [`dynamics`] — composable per-slot effects (mobility drift, bursty
+//!   interference, heterogeneous tag power) attached through the scenario
+//!   builder,
 //! * [`tag`] — the per-tag state bundle (seed, message, channel, clock,
 //!   battery),
 //! * [`scenario`] — reproducible experiment construction: "K tags at this
@@ -20,16 +23,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod energy;
 pub mod geometry;
 pub mod medium;
 pub mod scenario;
 pub mod tag;
 
+pub use dynamics::{BurstyInterference, HeterogeneousTagPower, Mobility, ScenarioDynamics};
 pub use energy::{EnergyModel, TagBattery, TransmissionProfile};
 pub use geometry::{cart_layout, Position, TablePlacement};
 pub use medium::{Medium, MediumConfig, SlotLog};
-pub use scenario::{Scenario, ScenarioConfig};
+pub use scenario::{Placement, Scenario, ScenarioBuilder, ScenarioConfig, SnrProfile};
 pub use tag::SimTag;
 
 /// Errors produced by the simulator.

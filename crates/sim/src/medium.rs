@@ -8,12 +8,16 @@
 //! a given scenario — mirroring how the paper runs the compared schemes
 //! back-to-back without moving the tags.
 
+use std::sync::Arc;
+
 use backscatter_phy::channel::Channel;
 use backscatter_phy::complex::Complex;
 use backscatter_phy::modulation::CarrierLeakage;
 use backscatter_phy::noise::AwgnSource;
 use backscatter_phy::signal::{PowerDetector, SlotObservation};
+use backscatter_prng::{SplitMix64, Xoshiro256};
 
+use crate::dynamics::{ScenarioDynamics, SlotView};
 use crate::{SimError, SimResult};
 
 /// Configuration of a [`Medium`].
@@ -56,11 +60,23 @@ pub struct SlotLog {
 /// The simulated air interface.
 #[derive(Debug, Clone)]
 pub struct Medium {
+    /// The channels in effect for the *current* slot (equal to
+    /// `base_channels` unless dynamics are attached and have perturbed them).
     channels: Vec<Channel>,
+    /// The scenario's slot-0 channels, the reference every dynamic slot
+    /// starts from.
+    base_channels: Vec<Channel>,
     leakage: CarrierLeakage,
     noise: AwgnSource,
     detector: PowerDetector,
     config: MediumConfig,
+    /// Per-slot effects applied at slot boundaries (empty = static medium).
+    dynamics: Vec<Arc<dyn ScenarioDynamics>>,
+    /// Seed material for the dynamics streams.
+    dynamics_seed: u64,
+    /// Amplitude multiplier on the noise source for the current slot
+    /// (`sqrt` of the dynamics' power scale; 1.0 when static).
+    noise_amplitude_scale: f64,
     log: Vec<SlotLog>,
 }
 
@@ -86,13 +102,82 @@ impl Medium {
         let integrated_noise = config.noise_power / config.occupancy_integration as f64;
         let detector = PowerDetector::new(integrated_noise * 9.0)?;
         Ok(Self {
+            base_channels: channels.clone(),
             channels,
             leakage: CarrierLeakage::typical(),
             noise,
             detector,
             config,
+            dynamics: Vec::new(),
+            dynamics_seed: 0,
+            noise_amplitude_scale: 1.0,
             log: Vec::new(),
         })
+    }
+
+    /// Attaches per-slot dynamics to the medium.  `dynamics_seed` pins the
+    /// dynamics' pseudorandom streams (drift directions, burst phases), so
+    /// the same seed reproduces the same trajectory.
+    ///
+    /// Protocols drive the dynamics by calling [`Medium::begin_slot`] at slot
+    /// boundaries; with no dynamics attached that call is free and the medium
+    /// is bit-identical to a pre-dynamics one.
+    #[must_use]
+    pub fn with_dynamics(
+        mut self,
+        dynamics: Vec<Arc<dyn ScenarioDynamics>>,
+        dynamics_seed: u64,
+    ) -> Self {
+        self.dynamics = dynamics;
+        self.dynamics_seed = dynamics_seed;
+        self
+    }
+
+    /// Starts slot `slot`: resets the per-slot channels/noise to the base
+    /// state and applies every attached dynamics in order.  A no-op when no
+    /// dynamics are attached, so static scenarios take this path for free.
+    pub fn begin_slot(&mut self, slot: u64) {
+        if self.dynamics.is_empty() {
+            return;
+        }
+        self.channels.copy_from_slice(&self.base_channels);
+        let mut noise_scale = 1.0f64;
+        for (index, dynamics) in self.dynamics.iter().enumerate() {
+            let stream_seed = SplitMix64::mix(self.dynamics_seed, 0xd1a_0001 + index as u64);
+            let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(stream_seed, slot));
+            let mut view = SlotView {
+                slot,
+                channels: &mut self.channels,
+                noise_scale: &mut noise_scale,
+                stream_seed,
+                rng: &mut rng,
+            };
+            dynamics.apply(&mut view);
+        }
+        self.noise_amplitude_scale = noise_scale.max(0.0).sqrt();
+    }
+
+    /// The attached dynamics (empty for a static medium).
+    #[must_use]
+    pub fn dynamics(&self) -> &[Arc<dyn ScenarioDynamics>] {
+        &self.dynamics
+    }
+
+    /// The effective noise power for the current slot (base noise times the
+    /// dynamics' scale).
+    #[must_use]
+    pub fn slot_noise_power(&self) -> f64 {
+        self.config.noise_power * self.noise_amplitude_scale * self.noise_amplitude_scale
+    }
+
+    /// One noise draw at the current slot's effective power.
+    fn noise_sample(&mut self) -> Complex {
+        let sample = self.noise.sample();
+        if self.noise_amplitude_scale == 1.0 {
+            sample
+        } else {
+            sample * self.noise_amplitude_scale
+        }
     }
 
     /// The number of tags on this medium.
@@ -157,7 +242,7 @@ impl Medium {
     /// Returns a length-mismatch error if `bits` does not cover every tag.
     pub fn observe(&mut self, bits: &[bool]) -> SimResult<Complex> {
         self.check_bits(bits)?;
-        let symbol = self.clean_symbol(bits) + self.noise.sample();
+        let symbol = self.clean_symbol(bits) + self.noise_sample();
         if self.config.logging {
             self.log.push(SlotLog {
                 participants: bits
@@ -214,7 +299,8 @@ impl Medium {
             .zip(weights)
             .map(|(c, &w)| c.coefficient * w)
             .sum();
-        Ok(clean + self.noise.sample())
+        let noise = self.noise_sample();
+        Ok(clean + noise)
     }
 
     /// Observes a whole sequence of slots: `per_slot_bits[j][i]` is tag `i`'s
@@ -239,7 +325,7 @@ impl Medium {
         let n = self.config.occupancy_integration;
         // Average power over n independent looks at the same slot.
         let mean_power: f64 = (0..n)
-            .map(|_| (clean + self.noise.sample()).norm_sqr())
+            .map(|_| (clean + self.noise_sample()).norm_sqr())
             .sum::<f64>()
             / n as f64;
         // Subtract the expected noise contribution so the threshold compares
@@ -376,6 +462,76 @@ mod tests {
         assert_eq!(m.log().len(), 2);
         assert_eq!(m.log()[0].participants, vec![0]);
         assert_eq!(m.log()[1].participants, vec![0, 1]);
+    }
+
+    #[test]
+    fn begin_slot_without_dynamics_is_a_no_op() {
+        // The static path must be bit-identical whether or not begin_slot is
+        // called — this is what keeps the paper scenarios byte-reproducible
+        // after the dynamics hook was added.
+        let mut plain = medium_with(&[(1.0, 0.0), (0.5, 0.2)], 1e-4);
+        let mut hooked = medium_with(&[(1.0, 0.0), (0.5, 0.2)], 1e-4);
+        for slot in 0..16u64 {
+            hooked.begin_slot(slot);
+            let a = plain.observe(&[true, slot % 2 == 0]).unwrap();
+            let b = hooked.observe(&[true, slot % 2 == 0]).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(hooked.slot_noise_power(), hooked.noise_power());
+        }
+    }
+
+    #[test]
+    fn dynamics_perturb_channels_and_noise_per_slot() {
+        use crate::dynamics::{BurstyInterference, Mobility};
+
+        let channels = vec![
+            Channel::from_coefficient(Complex::ONE),
+            Channel::from_coefficient(Complex::I),
+        ];
+        let dynamics: Vec<Arc<dyn crate::dynamics::ScenarioDynamics>> = vec![
+            Arc::new(Mobility::new(0.1, 0.0).unwrap()),
+            Arc::new(BurstyInterference::new(4, 2, 9.0).unwrap()),
+        ];
+        let mut m = Medium::new(channels.clone(), MediumConfig::default())
+            .unwrap()
+            .with_dynamics(dynamics, 77);
+
+        // Slot 0: mobility leaves slot-0 channels at their base value.
+        m.begin_slot(0);
+        for (base, got) in channels.iter().zip(m.channels()) {
+            assert!((got.coefficient - base.coefficient).abs() < 1e-12);
+        }
+
+        // Later slots rotate the channels; magnitudes survive (no wobble).
+        m.begin_slot(40);
+        let rotated = m.channels().to_vec();
+        assert!(rotated
+            .iter()
+            .zip(&channels)
+            .all(|(r, b)| (r.coefficient.abs() - b.coefficient.abs()).abs() < 1e-12));
+        assert!(rotated
+            .iter()
+            .zip(&channels)
+            .any(|(r, b)| (r.coefficient - b.coefficient).abs() > 1e-3));
+
+        // Burst slots raise the effective noise power by exactly 9x.
+        let mut saw_burst = false;
+        let mut saw_quiet = false;
+        for slot in 0..32 {
+            m.begin_slot(slot);
+            let ratio = m.slot_noise_power() / m.noise_power();
+            if (ratio - 9.0).abs() < 1e-9 {
+                saw_burst = true;
+            } else {
+                assert!((ratio - 1.0).abs() < 1e-9, "unexpected ratio {ratio}");
+                saw_quiet = true;
+            }
+        }
+        assert!(saw_burst && saw_quiet);
+
+        // Every slot's state is a pure function of the slot index.
+        m.begin_slot(40);
+        assert_eq!(m.channels(), &rotated[..]);
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! the simulator's analogue of the paper running the three schemes
 //! back-to-back without moving the tags.
 
+use std::sync::Arc;
+
 use backscatter_codes::message::Message;
 use backscatter_phy::channel::{ChannelModel, FadingModel, PathLoss};
 use backscatter_phy::snr::snr_db_to_linear;
 use backscatter_phy::sync::{ClockModel, SyncJitter};
 use backscatter_prng::{NodeSeed, Rng64, SplitMix64, Xoshiro256};
 
+use crate::dynamics::ScenarioDynamics;
 use crate::energy::TagBattery;
 use crate::geometry::{cart_layout, TablePlacement};
 use crate::medium::{Medium, MediumConfig};
@@ -107,6 +110,169 @@ impl ScenarioConfig {
     }
 }
 
+/// How the builder pins the noise floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnrProfile {
+    /// A fixed low ambient noise floor (the default-noise behaviour of
+    /// [`ScenarioConfig`] with `median_snr_db: None`).
+    AmbientFloor,
+    /// Choose the noise power so the median-strength tag sees this SNR (dB).
+    MedianDb(f64),
+}
+
+/// Where the tags sit relative to the reader.
+///
+/// Currently one family — the paper's cart — parameterized by its distance;
+/// expressed as an enum so new placement families (shelf rows, conveyor
+/// belts) slot in without another builder method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// The paper's movable cart at the given distance from the reader.
+    Cart {
+        /// Distance from the reader to the near edge of the cart, meters.
+        distance_m: f64,
+    },
+}
+
+/// Fluent constructor for [`Scenario`]s: start from a preset (or
+/// [`Scenario::builder`]), override what the experiment varies, attach any
+/// number of composable [`ScenarioDynamics`], then [`ScenarioBuilder::build`].
+///
+/// ```
+/// use backscatter_sim::scenario::{Scenario, SnrProfile};
+/// use backscatter_sim::dynamics::Mobility;
+///
+/// let scenario = Scenario::builder(8)
+///     .seed(42)
+///     .snr_profile(SnrProfile::MedianDb(18.0))
+///     .dynamics(Mobility::walking_pace())
+///     .build()
+///     .unwrap();
+/// assert_eq!(scenario.tags().len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    config: ScenarioConfig,
+    dynamics: Vec<Arc<dyn ScenarioDynamics>>,
+}
+
+impl ScenarioBuilder {
+    /// Starts from the paper's default uplink parameters with `k` tags
+    /// (equivalent to the `paper_uplink` preset at seed 0).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self::paper_uplink(k, 0)
+    }
+
+    /// Preset matching [`ScenarioConfig::paper_uplink`].
+    #[must_use]
+    pub fn paper_uplink(k: usize, seed: u64) -> Self {
+        Self {
+            config: ScenarioConfig::paper_uplink(k, seed),
+            dynamics: Vec::new(),
+        }
+    }
+
+    /// Preset matching [`ScenarioConfig::challenging`].
+    #[must_use]
+    pub fn challenging(k: usize, seed: u64, median_snr_db: f64) -> Self {
+        Self {
+            config: ScenarioConfig::challenging(k, seed, median_snr_db),
+            dynamics: Vec::new(),
+        }
+    }
+
+    /// Sets the master seed (the "experiment location").
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets how the noise floor is chosen.
+    #[must_use]
+    pub fn snr_profile(mut self, profile: SnrProfile) -> Self {
+        self.config.median_snr_db = match profile {
+            SnrProfile::AmbientFloor => None,
+            SnrProfile::MedianDb(db) => Some(db),
+        };
+        self
+    }
+
+    /// Sets the tag placement.
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        match placement {
+            Placement::Cart { distance_m } => self.config.cart_distance_m = distance_m,
+        }
+        self
+    }
+
+    /// Sets the message payload length in bits.
+    #[must_use]
+    pub fn message_bits(mut self, bits: usize) -> Self {
+        self.config.message_bits = bits;
+        self
+    }
+
+    /// Sets the size of the global id space the tags are drawn from.
+    #[must_use]
+    pub fn global_id_space(mut self, n: u64) -> Self {
+        self.config.global_id_space = n;
+        self
+    }
+
+    /// Sets the starting capacitor voltage of every tag.
+    #[must_use]
+    pub fn starting_voltage_v(mut self, volts: f64) -> Self {
+        self.config.starting_voltage_v = volts;
+        self
+    }
+
+    /// Sets the maximum per-tag clock drift magnitude in ppm.
+    #[must_use]
+    pub fn max_clock_drift_ppm(mut self, ppm: f64) -> Self {
+        self.config.max_clock_drift_ppm = ppm;
+        self
+    }
+
+    /// Appends one composable per-slot dynamics (mobility, interference
+    /// bursts, …).  Dynamics are applied in attachment order at every slot
+    /// boundary of every *medium-driven* protocol run over the built
+    /// scenario; a scheme simulated without a PHY medium (Gen-2 FSA's
+    /// analytic inventory model) never observes them.  Slot indices are
+    /// protocol-local — see [`crate::dynamics`] for the time-base caveat.
+    #[must_use]
+    pub fn dynamics(mut self, dynamics: impl ScenarioDynamics + 'static) -> Self {
+        self.dynamics.push(Arc::new(dynamics));
+        self
+    }
+
+    /// Appends an already-shared dynamics instance.
+    #[must_use]
+    pub fn dynamics_arc(mut self, dynamics: Arc<dyn ScenarioDynamics>) -> Self {
+        self.dynamics.push(dynamics);
+        self
+    }
+
+    /// The configuration the builder would hand to [`Scenario::build`].
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an invalid configuration.
+    pub fn build(self) -> SimResult<Scenario> {
+        let mut scenario = Scenario::build(self.config)?;
+        scenario.dynamics = self.dynamics;
+        Ok(scenario)
+    }
+}
+
 /// A fully-instantiated experiment: the tags and the medium they share.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -114,10 +280,24 @@ pub struct Scenario {
     placement: TablePlacement,
     tags: Vec<SimTag>,
     noise_power: f64,
+    /// Per-slot dynamics every medium built from this scenario carries
+    /// (empty for the paper's static scenarios).
+    dynamics: Vec<Arc<dyn ScenarioDynamics>>,
 }
 
 impl Scenario {
+    /// Starts a fluent [`ScenarioBuilder`] for `k` tags, preloaded with the
+    /// paper's default uplink parameters.
+    #[must_use]
+    pub fn builder(k: usize) -> ScenarioBuilder {
+        ScenarioBuilder::new(k)
+    }
+
     /// Builds the scenario described by `config`.
+    ///
+    /// This is the legacy entry point kept for mechanical migration; new
+    /// code should prefer [`Scenario::builder`], which reaches the same
+    /// configurations through presets and can attach dynamics.
     ///
     /// # Errors
     ///
@@ -181,6 +361,7 @@ impl Scenario {
             placement,
             tags,
             noise_power,
+            dynamics: Vec::new(),
         })
     }
 
@@ -224,14 +405,32 @@ impl Scenario {
     /// Propagates medium construction errors.
     pub fn medium(&self, noise_seed: u64) -> SimResult<Medium> {
         let channels = self.tags.iter().map(|t| t.channel).collect();
-        Medium::new(
+        let medium = Medium::new(
             channels,
             MediumConfig {
                 noise_power: self.noise_power,
                 noise_seed,
                 ..MediumConfig::default()
             },
-        )
+        )?;
+        if self.dynamics.is_empty() {
+            return Ok(medium);
+        }
+        // The dynamics realization follows the noise realization: one
+        // location (config seed) re-observed with a new `noise_seed` sees new
+        // burst phases and drift rates, the way repeated trace collection
+        // would.
+        Ok(medium.with_dynamics(
+            self.dynamics.clone(),
+            SplitMix64::mix(self.config.seed, noise_seed),
+        ))
+    }
+
+    /// The per-slot dynamics attached to this scenario (empty for the
+    /// paper's static scenarios).
+    #[must_use]
+    pub fn dynamics(&self) -> &[Arc<dyn ScenarioDynamics>] {
+        &self.dynamics
     }
 
     /// Per-tag SNRs in dB, for labelling results the way Fig. 12 does.
@@ -341,6 +540,99 @@ mod tests {
             assert_eq!(*mc, tc.channel);
         }
         assert_eq!(m.noise_power(), s.noise_power());
+    }
+
+    #[test]
+    fn builder_presets_match_legacy_constructors() {
+        // The builder's presets must pin to the legacy constructors exactly:
+        // same config, same tags, same noise floor.
+        let legacy = Scenario::build(ScenarioConfig::paper_uplink(8, 42)).unwrap();
+        let built = ScenarioBuilder::paper_uplink(8, 42).build().unwrap();
+        assert_eq!(built.config().k, legacy.config().k);
+        assert_eq!(built.noise_power(), legacy.noise_power());
+        for (a, b) in built.tags().iter().zip(legacy.tags()) {
+            assert_eq!(a.global_id, b.global_id);
+            assert_eq!(a.channel, b.channel);
+            assert_eq!(a.message, b.message);
+        }
+
+        let legacy = Scenario::build(ScenarioConfig::challenging(4, 7, 6.0)).unwrap();
+        let built = ScenarioBuilder::challenging(4, 7, 6.0).build().unwrap();
+        assert_eq!(built.noise_power(), legacy.noise_power());
+        for (a, b) in built.tags().iter().zip(legacy.tags()) {
+            assert_eq!(a.channel, b.channel);
+        }
+    }
+
+    #[test]
+    fn builder_overrides_reach_the_config() {
+        let builder = Scenario::builder(5)
+            .seed(9)
+            .snr_profile(SnrProfile::MedianDb(12.5))
+            .placement(Placement::Cart { distance_m: 0.7 })
+            .message_bits(96)
+            .global_id_space(5_000)
+            .starting_voltage_v(4.5)
+            .max_clock_drift_ppm(800.0);
+        let c = *builder.config();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.median_snr_db, Some(12.5));
+        assert_eq!(c.cart_distance_m, 0.7);
+        assert_eq!(c.message_bits, 96);
+        assert_eq!(c.global_id_space, 5_000);
+        assert_eq!(c.starting_voltage_v, 4.5);
+        assert_eq!(c.max_clock_drift_ppm, 800.0);
+        let scenario = builder.build().unwrap();
+        assert!(scenario.dynamics().is_empty());
+
+        let floor = Scenario::builder(2)
+            .snr_profile(SnrProfile::AmbientFloor)
+            .build()
+            .unwrap();
+        assert_eq!(floor.config().median_snr_db, None);
+    }
+
+    #[test]
+    fn builder_validation_still_applies() {
+        assert!(Scenario::builder(0).build().is_err());
+        assert!(Scenario::builder(4)
+            .placement(Placement::Cart { distance_m: -1.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn dynamics_ride_into_the_medium() {
+        use crate::dynamics::{BurstyInterference, HeterogeneousTagPower, Mobility};
+
+        let scenario = Scenario::builder(4)
+            .seed(11)
+            .dynamics(Mobility::walking_pace())
+            .dynamics(BurstyInterference::wifi_like())
+            .dynamics(HeterogeneousTagPower::new(12.0).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(scenario.dynamics().len(), 3);
+        let medium = scenario.medium(1).unwrap();
+        assert_eq!(medium.dynamics().len(), 3);
+
+        // Same (scenario seed, noise seed) => same dynamics trajectory;
+        // different noise seed => a different realization.
+        let mut a = scenario.medium(1).unwrap();
+        let mut b = scenario.medium(1).unwrap();
+        let mut c = scenario.medium(2).unwrap();
+        let mut same = true;
+        let mut differs = false;
+        for slot in 0..64 {
+            a.begin_slot(slot);
+            b.begin_slot(slot);
+            c.begin_slot(slot);
+            same &= a.channels() == b.channels() && a.slot_noise_power() == b.slot_noise_power();
+            differs |= a.channels() != c.channels() || a.slot_noise_power() != c.slot_noise_power();
+        }
+        assert!(same);
+        assert!(differs);
     }
 
     #[test]

@@ -27,6 +27,20 @@ pub use backscatter_sim as sim;
 pub use buzz as protocol;
 pub use sparse_recovery as recovery;
 
+// The unified cross-protocol session API, re-exported flat so downstream
+// comparisons can `use buzz_suite::{Protocol, SessionOutcome}` and hold every
+// scheme — Buzz and the baselines alike — behind `&[&dyn Protocol]`.
+pub use backscatter_baselines::session::{
+    CdmaProtocol, FsaIdentification, FsaWithEstimatedK, TdmaProtocol,
+};
+pub use backscatter_sim::dynamics::{
+    BurstyInterference, HeterogeneousTagPower, Mobility, ScenarioDynamics,
+};
+pub use backscatter_sim::scenario::ScenarioBuilder;
+pub use buzz::session::{
+    Protocol, SessionDiagnostics, SessionError, SessionOutcome, SessionResult,
+};
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -41,5 +55,10 @@ mod tests {
         let _ = crate::recovery::KEstimatorConfig::paper_default();
         let _ = crate::protocol::BuzzConfig::default();
         let _ = crate::baselines::TdmaConfig::default();
+        // The flat session-API re-exports.
+        fn _panel(_: &[&dyn crate::Protocol]) {}
+        let _ = crate::ScenarioBuilder::new(1);
+        let _ = crate::FsaIdentification;
+        let _ = crate::Mobility::walking_pace();
     }
 }
