@@ -225,11 +225,11 @@ impl CdmaTransfer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     #[test]
     fn rejects_empty_and_mismatched_inputs() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(2, 1)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(2, 1).build().unwrap();
         let mut medium = scenario.medium(1).unwrap();
         let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
         assert!(cdma.run(&[], &mut medium).is_err());
@@ -238,7 +238,7 @@ mod tests {
 
     #[test]
     fn delivers_most_messages_in_good_channels() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(4, 11)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(4, 11).build().unwrap();
         let mut medium = scenario.medium(2).unwrap();
         let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
         let out = cdma.run(scenario.tags(), &mut medium).unwrap();
@@ -258,7 +258,7 @@ mod tests {
         // 12 tags also need SF 16 (no length-12 Walsh code exists).
         assert!((cdma.nominal_time_ms(12, 37) - cdma.nominal_time_ms(16, 37)).abs() < 1e-9);
 
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(4, 3)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(4, 3).build().unwrap();
         let mut medium = scenario.medium(1).unwrap();
         let out = cdma.run(scenario.tags(), &mut medium).unwrap();
         assert!((out.time_ms - cdma.nominal_time_ms(4, 37)).abs() < 0.2);
@@ -273,8 +273,9 @@ mod tests {
         let mut total = 0usize;
         for &k in &[4usize, 8, 12, 16] {
             for seed in 0..3u64 {
-                let scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 200 + seed)).unwrap();
+                let scenario = ScenarioBuilder::paper_uplink(k, 200 + seed)
+                    .build()
+                    .unwrap();
                 let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
                 let mut medium = scenario.medium(seed).unwrap();
                 cdma_lost += cdma.run(scenario.tags(), &mut medium).unwrap().lost_count();
@@ -300,8 +301,9 @@ mod tests {
         let mut tdma_lost = 0usize;
         let mut total = 0usize;
         for seed in 0..8 {
-            let scenario =
-                Scenario::build(ScenarioConfig::challenging(4, 300 + seed, 3.0)).unwrap();
+            let scenario = ScenarioBuilder::challenging(4, 300 + seed, 3.0)
+                .build()
+                .unwrap();
             let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
             let mut medium = scenario.medium(seed).unwrap();
             cdma_lost += cdma.run(scenario.tags(), &mut medium).unwrap().lost_count();
@@ -319,7 +321,7 @@ mod tests {
 
     #[test]
     fn energy_accounting_reflects_continuous_chipping() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 13)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(8, 13).build().unwrap();
         let mut medium = scenario.medium(2).unwrap();
         let cdma = CdmaTransfer::new(CdmaConfig::default()).unwrap();
         let out = cdma.run(scenario.tags(), &mut medium).unwrap();

@@ -90,11 +90,11 @@ pub fn fsa_with_known_k(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     #[test]
     fn fsa_identifies_everyone() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 3)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(8, 3).build().unwrap();
         let report = fsa_identification(&scenario, 1).unwrap();
         assert!(report.is_complete());
         assert_eq!(report.population, 8);
@@ -107,7 +107,7 @@ mod tests {
         let mut plain = 0.0;
         let mut with_k = 0.0;
         for seed in 0..15 {
-            let scenario = Scenario::build(ScenarioConfig::paper_uplink(16, seed)).unwrap();
+            let scenario = ScenarioBuilder::paper_uplink(16, seed).build().unwrap();
             plain += fsa_identification(&scenario, seed).unwrap().time_ms;
             with_k += fsa_with_known_k(&scenario, 16, seed).unwrap().time_ms;
         }
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn different_run_seeds_give_different_realizations() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 5)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(8, 5).build().unwrap();
         let a = fsa_identification(&scenario, 1).unwrap();
         let b = fsa_identification(&scenario, 2).unwrap();
         // Both complete, but slot counts generally differ across realizations.

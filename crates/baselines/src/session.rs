@@ -260,7 +260,7 @@ impl Protocol for FsaWithEstimatedK {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
     use buzz::protocol::{BuzzConfig, BuzzProtocol};
     use buzz::session::SessionDiagnostics;
 
@@ -283,7 +283,7 @@ mod tests {
         let buzz = BuzzProtocol::new(BuzzConfig::default()).unwrap();
         let (tdma, cdma, fsa, fsa_k) = panel();
         let protocols: [&dyn Protocol; 5] = [&buzz, &tdma, &cdma, &fsa, &fsa_k];
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(6, 91)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(6, 91).build().unwrap();
         let mut outcomes = Vec::new();
         for protocol in protocols {
             let outcome = protocol.run_after(&mut scenario, 2, &outcomes).unwrap();
@@ -306,7 +306,7 @@ mod tests {
     fn adapters_match_the_legacy_entry_points() {
         // The unified API must report exactly the numbers the old private
         // APIs did — it is a veneer, not a re-simulation.
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(5, 17)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(5, 17).build().unwrap();
 
         let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
         let mut medium = scenario.medium(4).unwrap();
@@ -329,7 +329,7 @@ mod tests {
 
     #[test]
     fn fsa_with_estimate_reads_prior_diagnostics() {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 33)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(8, 33).build().unwrap();
         // A fabricated prior outcome carrying K̂ = 8.
         let prior = SessionOutcome {
             scheme: "buzz".into(),

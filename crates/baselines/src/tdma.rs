@@ -176,7 +176,7 @@ impl TdmaTransfer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     #[test]
     fn construction_validates() {
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_mismatched_inputs() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(2, 1)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(2, 1).build().unwrap();
         let mut medium = scenario.medium(1).unwrap();
         let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
         assert!(tdma.run(&[], &mut medium).is_err());
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn delivers_all_messages_in_good_channels() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 5)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(8, 5).build().unwrap();
         let mut medium = scenario.medium(2).unwrap();
         let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
         let out = tdma.run(scenario.tags(), &mut medium).unwrap();
@@ -217,7 +217,7 @@ mod tests {
         assert!(t16 > 7.0 && t16 < 9.0, "t16 = {t16}");
 
         // And the measured time matches the nominal one.
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(4, 7)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(4, 7).build().unwrap();
         let mut medium = scenario.medium(3).unwrap();
         let out = tdma.run(scenario.tags(), &mut medium).unwrap();
         assert!((out.time_ms - tdma.nominal_time_ms(4, 37)).abs() < 1e-9);
@@ -228,8 +228,9 @@ mod tests {
         // Push the SNR down until TDMA starts failing (the Fig. 12 regime).
         let mut any_loss = false;
         for seed in 0..6 {
-            let scenario =
-                Scenario::build(ScenarioConfig::challenging(4, 100 + seed, 0.0)).unwrap();
+            let scenario = ScenarioBuilder::challenging(4, 100 + seed, 0.0)
+                .build()
+                .unwrap();
             let mut medium = scenario.medium(seed).unwrap();
             let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
             let out = tdma.run(scenario.tags(), &mut medium).unwrap();
@@ -245,7 +246,7 @@ mod tests {
 
     #[test]
     fn energy_accounting_reflects_miller_chipping() {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(2, 9)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(2, 9).build().unwrap();
         let mut medium = scenario.medium(1).unwrap();
         let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
         let out = tdma.run(scenario.tags(), &mut medium).unwrap();

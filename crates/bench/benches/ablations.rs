@@ -7,7 +7,7 @@
 use backscatter_codes::sparse_matrix::SparseBinaryMatrix;
 use backscatter_phy::complex::Complex;
 use backscatter_prng::{NodeSeed, Rng64, Xoshiro256};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 use buzz::transfer::TransferConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -24,8 +24,7 @@ fn bench_collision_density(c: &mut Criterion) {
             &target,
             |b, &target| {
                 b.iter(|| {
-                    let mut scenario =
-                        Scenario::build(ScenarioConfig::paper_uplink(8, 4321)).unwrap();
+                    let mut scenario = ScenarioBuilder::paper_uplink(8, 4321).build().unwrap();
                     let config = BuzzConfig {
                         periodic_mode: true,
                         transfer: TransferConfig {

@@ -16,7 +16,7 @@
 use backscatter_codes::message::Message;
 use backscatter_phy::complex::Complex;
 use backscatter_prng::{NodeSeed, Rng64, Xoshiro256};
-use buzz::bp::BitFlippingDecoder;
+use buzz::bp::{BitFlippingDecoder, DecodeSchedule};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a ready-to-decode collision problem with `k` nodes, `slots` slots,
@@ -58,6 +58,73 @@ fn build_sparse_problem(k: usize, slots: usize, expected_colliders: f64) -> BitF
     decoder
 }
 
+/// Pre-generates the slot stream of a rateless session: participants and
+/// noiseless symbols per slot, shared by both schedules so the comparison is
+/// apples to apples.
+#[allow(clippy::type_complexity)]
+fn build_slot_stream(
+    k: usize,
+    slots: usize,
+    expected_colliders: f64,
+) -> (Vec<Complex>, usize, Vec<(Vec<bool>, Vec<Complex>)>) {
+    let p = (expected_colliders / k as f64).min(1.0);
+    let mut rng = Xoshiro256::seed_from_u64(2_026);
+    let channels: Vec<Complex> = (0..k)
+        .map(|_| {
+            Complex::from_polar(
+                0.4 + rng.next_f64(),
+                rng.next_f64() * core::f64::consts::TAU,
+            )
+        })
+        .collect();
+    let frames: Vec<Vec<bool>> = (0..k)
+        .map(|i| Message::standard_32bit(9_000 + i as u64).unwrap().framed())
+        .collect();
+    let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(40_000 + i)).collect();
+    let stream = (0..slots as u64)
+        .map(|slot| {
+            let participants: Vec<bool> = seeds
+                .iter()
+                .map(|s| s.participates_in_slot(slot, p))
+                .collect();
+            let symbols: Vec<Complex> = (0..frames[0].len())
+                .map(|pos| {
+                    let mut y = Complex::ZERO;
+                    for i in 0..k {
+                        if participants[i] && frames[i][pos] {
+                            y += channels[i];
+                        }
+                    }
+                    y
+                })
+                .collect();
+            (participants, symbols)
+        })
+        .collect();
+    (channels, frames[0].len(), stream)
+}
+
+/// Replays the rateless protocol loop — add a slot, re-decode, stop when
+/// everything locked — the workload `decode` actually faces in a session.
+fn run_session(
+    channels: &[Complex],
+    message_bits: usize,
+    stream: &[(Vec<bool>, Vec<Complex>)],
+    schedule: DecodeSchedule,
+) -> usize {
+    let mut decoder = BitFlippingDecoder::new(channels.to_vec(), message_bits, 1e-4)
+        .unwrap()
+        .with_schedule(schedule);
+    for (slot, (participants, symbols)) in stream.iter().enumerate() {
+        decoder.add_slot(participants, symbols.clone()).unwrap();
+        let state = decoder.decode().unwrap();
+        if state.all_decoded() {
+            return slot + 1;
+        }
+    }
+    stream.len()
+}
+
 fn bench_decoders_large_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("decoders_large_k");
     group.sample_size(5);
@@ -70,6 +137,28 @@ fn bench_decoders_large_k(c: &mut Criterion) {
             b.iter(|| decoder.clone().decode().unwrap());
         });
     }
+
+    // The Fig. 11 regime measurement: a whole rateless session per iteration,
+    // once per decode schedule.  This is the headline number behind the
+    // worklist refactor — FullPass re-derives every bit position on every
+    // slot, Worklist only revisits perturbed positions.
+    group.sample_size(3);
+    for &k in &[32usize, 64] {
+        let (channels, bits, stream) = build_slot_stream(k, 3 * k, 4.0);
+        group.bench_with_input(BenchmarkId::new("session_full_pass", k), &k, |b, _| {
+            b.iter(|| run_session(&channels, bits, &stream, DecodeSchedule::FullPass));
+        });
+        group.bench_with_input(BenchmarkId::new("session_worklist", k), &k, |b, _| {
+            b.iter(|| run_session(&channels, bits, &stream, DecodeSchedule::Worklist));
+        });
+    }
+    // FullPass at K = 100 takes minutes per session — the point of the
+    // refactor; only the worklist schedule is benchable there.
+    let k = 100usize;
+    let (channels, bits, stream) = build_slot_stream(k, 3 * k, 4.0);
+    group.bench_with_input(BenchmarkId::new("session_worklist", k), &k, |b, _| {
+        b.iter(|| run_session(&channels, bits, &stream, DecodeSchedule::Worklist));
+    });
     group.finish();
 }
 

@@ -4,7 +4,7 @@
 
 use backscatter_baselines::cdma::{CdmaConfig, CdmaTransfer};
 use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -15,7 +15,7 @@ fn bench_energy_experiment(c: &mut Criterion) {
 
     group.bench_function("buzz", |b| {
         b.iter(|| {
-            let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 3000)).unwrap();
+            let mut scenario = ScenarioBuilder::paper_uplink(k, 3000).build().unwrap();
             BuzzProtocol::new(BuzzConfig {
                 periodic_mode: true,
                 ..BuzzConfig::default()
@@ -28,7 +28,7 @@ fn bench_energy_experiment(c: &mut Criterion) {
     });
     group.bench_function("tdma", |b| {
         b.iter(|| {
-            let scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 3000)).unwrap();
+            let scenario = ScenarioBuilder::paper_uplink(k, 3000).build().unwrap();
             let mut medium = scenario.medium(1).unwrap();
             TdmaTransfer::new(TdmaConfig::default())
                 .unwrap()
@@ -38,7 +38,7 @@ fn bench_energy_experiment(c: &mut Criterion) {
     });
     group.bench_function("cdma", |b| {
         b.iter(|| {
-            let scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 3000)).unwrap();
+            let scenario = ScenarioBuilder::paper_uplink(k, 3000).build().unwrap();
             let mut medium = scenario.medium(1).unwrap();
             CdmaTransfer::new(CdmaConfig::default())
                 .unwrap()

@@ -3,7 +3,7 @@
 //! paper worries about in §5.1) for Buzz vs Framed Slotted Aloha.
 
 use backscatter_baselines::identification::fsa_identification;
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::identification::{IdentificationConfig, Identifier};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,8 +13,9 @@ fn bench_identification(c: &mut Criterion) {
     for &k in &[4usize, 16] {
         group.bench_with_input(BenchmarkId::new("buzz", k), &k, |b, &k| {
             b.iter(|| {
-                let mut scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 1000 + k as u64)).unwrap();
+                let mut scenario = ScenarioBuilder::paper_uplink(k, 1000 + k as u64)
+                    .build()
+                    .unwrap();
                 let mut medium = scenario.medium(7).unwrap();
                 Identifier::new(IdentificationConfig::default())
                     .unwrap()
@@ -24,8 +25,9 @@ fn bench_identification(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("fsa", k), &k, |b, &k| {
             b.iter(|| {
-                let scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 1000 + k as u64)).unwrap();
+                let scenario = ScenarioBuilder::paper_uplink(k, 1000 + k as u64)
+                    .build()
+                    .unwrap();
                 fsa_identification(&scenario, 7).unwrap()
             });
         });

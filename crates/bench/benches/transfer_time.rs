@@ -3,7 +3,7 @@
 
 use backscatter_baselines::cdma::{CdmaConfig, CdmaTransfer};
 use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,8 +13,9 @@ fn bench_transfer(c: &mut Criterion) {
     for &k in &[4usize, 8] {
         group.bench_with_input(BenchmarkId::new("buzz", k), &k, |b, &k| {
             b.iter(|| {
-                let mut scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 2000 + k as u64)).unwrap();
+                let mut scenario = ScenarioBuilder::paper_uplink(k, 2000 + k as u64)
+                    .build()
+                    .unwrap();
                 BuzzProtocol::new(BuzzConfig {
                     periodic_mode: true,
                     ..BuzzConfig::default()
@@ -26,8 +27,9 @@ fn bench_transfer(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("tdma", k), &k, |b, &k| {
             b.iter(|| {
-                let scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 2000 + k as u64)).unwrap();
+                let scenario = ScenarioBuilder::paper_uplink(k, 2000 + k as u64)
+                    .build()
+                    .unwrap();
                 let mut medium = scenario.medium(3).unwrap();
                 TdmaTransfer::new(TdmaConfig::default())
                     .unwrap()
@@ -37,8 +39,9 @@ fn bench_transfer(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("cdma", k), &k, |b, &k| {
             b.iter(|| {
-                let scenario =
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 2000 + k as u64)).unwrap();
+                let scenario = ScenarioBuilder::paper_uplink(k, 2000 + k as u64)
+                    .build()
+                    .unwrap();
                 let mut medium = scenario.medium(3).unwrap();
                 CdmaTransfer::new(CdmaConfig::default())
                     .unwrap()

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Valid experiment ids: `table12`, `fig2_3`, `fig7`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `fig12`, `fig13`, `fig14`, `lemma51`, `headline`, `all`.
+//! `fig11`, `fig11_large`, `fig12`, `fig13`, `fig14`, `lemma51`, `headline`,
+//! `all`.
 //!
 //! `--threads N` shards each experiment's scenario matrix across `N` worker
 //! threads (default: the machine's available parallelism).  Output is
@@ -62,6 +63,9 @@ fn main() {
         "fig9" => vec![experiments::fig9(BASE_SEED)],
         "fig10" => vec![experiments::fig10(locations, BASE_SEED, threads)],
         "fig11" => vec![experiments::fig11(locations, BASE_SEED, threads)],
+        "fig11_large" | "fig11-large" => {
+            vec![experiments::fig11_large(locations, BASE_SEED, threads)]
+        }
         "fig12" => vec![experiments::fig12(locations, BASE_SEED, threads)],
         "fig13" => vec![experiments::fig13(locations, BASE_SEED, threads)],
         "fig14" => vec![experiments::fig14(locations, BASE_SEED, threads)],

@@ -114,7 +114,7 @@ where
 mod tests {
     use super::*;
     use backscatter_baselines::session::TdmaProtocol;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
     use buzz::protocol::{BuzzConfig, BuzzProtocol};
 
     fn quick_panel() -> (BuzzProtocol, TdmaProtocol) {
@@ -137,7 +137,11 @@ mod tests {
             &[4usize, 6],
             2,
             1,
-            |k, location| Scenario::build(ScenarioConfig::paper_uplink(k, 70 + location)).unwrap(),
+            |k, location| {
+                ScenarioBuilder::paper_uplink(k, 70 + location)
+                    .build()
+                    .unwrap()
+            },
             |_| vec![0, 1],
         );
         assert_eq!(groups.len(), 2, "one group per parameter");
@@ -165,7 +169,9 @@ mod tests {
                 3,
                 threads,
                 |k, location| {
-                    Scenario::build(ScenarioConfig::paper_uplink(k, 80 + location)).unwrap()
+                    ScenarioBuilder::paper_uplink(k, 80 + location)
+                        .build()
+                        .unwrap()
                 },
                 |location| vec![location],
             )
@@ -190,7 +196,11 @@ mod tests {
             &[4usize, 8],
             0,
             2,
-            |k, location| Scenario::build(ScenarioConfig::paper_uplink(k, location + 1)).unwrap(),
+            |k, location| {
+                ScenarioBuilder::paper_uplink(k, location + 1)
+                    .build()
+                    .unwrap()
+            },
             |location| vec![location],
         );
         assert_eq!(groups.len(), 2);

@@ -311,6 +311,17 @@ impl SparseBinaryMatrix {
         Some(lists.get(col).map_or(&[], Vec::as_slice))
     }
 
+    /// Like [`SparseBinaryMatrix::neighbors`] but collapsing "tracking
+    /// disabled" and "out of range" to an empty list — the shape decoder
+    /// dirty-propagation wants: "which other columns can a perturbation of
+    /// `col` reach, with shared-row multiplicity", with no `Option` plumbing
+    /// on the hot path.  Callers that must distinguish a disabled index from
+    /// an isolated column should use [`SparseBinaryMatrix::neighbors`].
+    #[must_use]
+    pub fn neighbors_or_empty(&self, col: usize) -> &[(usize, usize)] {
+        self.neighbors(col).unwrap_or(&[])
+    }
+
     /// Appends a new row given the set of columns holding a 1, returning the
     /// new row's index.  This is how the rateless data phase grows `D` one
     /// collision slot at a time; on the flat layout it is an append to the CSR

@@ -37,6 +37,30 @@
 //! index (columns sharing ≥ 1 slot, with multiplicity), so it costs one `O(1)`
 //! evaluation per *colliding* pair instead of a residual walk over every
 //! `(i, l)` combination.
+//!
+//! # Decode scheduling
+//!
+//! [`DecodeSchedule`] selects how `decode` spends that machinery:
+//!
+//! * [`DecodeSchedule::FullPass`] re-derives every bit position from scratch
+//!   on every call (a deterministic cold start plus random restarts per
+//!   position).  This is the PR 3 decoder, kept byte-identical; the paper's
+//!   original figures run on it.
+//! * [`DecodeSchedule::Worklist`] keeps one *persistent* [`PositionState`]
+//!   per bit position across calls and only revisits **dirty** positions: a
+//!   position is dirtied when a newly appended slot touches one of its
+//!   unlocked nodes, when locking a node flips that node's bit there (the
+//!   perturbation walks the CSC column to the shared slots and each slot's
+//!   row to the neighbours whose gains move), or when a channel refit
+//!   perturbs a slot the position's residuals depend on.  Converged
+//!   positions are skipped entirely — skipping is provably a no-op, because
+//!   a skipped position's state is a descent fixed point and `descend` on a
+//!   fixed point performs zero flips — and the [`MaxTracker`] absorbs every
+//!   partial update (`append_row`, lock pinning, refit deltas) point-wise
+//!   instead of being rebuilt.  This is what makes the rateless loop's cost
+//!   per slot proportional to the *perturbed* neighbourhood rather than to
+//!   `positions × nodes`, the difference between K = 16 and K = 150 being
+//!   practical.
 
 use backscatter_codes::message::Message;
 use backscatter_codes::sparse_matrix::SparseBinaryMatrix;
@@ -45,6 +69,22 @@ use backscatter_prng::{Rng64, SplitMix64, Xoshiro256};
 
 use crate::max_tracker::MaxTracker;
 use crate::{BuzzError, BuzzResult};
+
+/// How [`BitFlippingDecoder::decode`] schedules per-position work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeSchedule {
+    /// Re-derive every bit position from scratch on every decode call
+    /// (deterministic cold start + random restarts).  Byte-identical to the
+    /// historical decoder; the right choice when bit-exact comparability
+    /// with previously recorded runs matters more than speed.
+    #[default]
+    FullPass,
+    /// Worklist-driven: persistent per-position descent states, dirty
+    /// propagation through the participation matrix's neighbour structure,
+    /// converged positions skipped.  Same decoded messages on decodable
+    /// workloads, asymptotically cheaper per slot — the K = 100+ schedule.
+    Worklist,
+}
 
 /// The reader's incremental collision decoder.
 #[derive(Debug, Clone)]
@@ -79,6 +119,16 @@ pub struct BitFlippingDecoder {
     /// [`BitFlippingDecoder::add_slot`] (one slot arrives per protocol
     /// round-trip; reallocating it every time showed up in profiles).
     participant_scratch: Vec<usize>,
+    /// How `decode` schedules per-position work.
+    schedule: DecodeSchedule,
+    /// Persistent per-position state for [`DecodeSchedule::Worklist`], built
+    /// lazily on the first worklist decode.
+    worklist: Option<Box<WorklistState>>,
+    /// Diagnostics/verification knob: when set, the worklist schedule visits
+    /// every position each pass instead of only the dirty ones.  Skipping is
+    /// designed to be a no-op, and the differential tests pin that by
+    /// comparing a skipping decoder against a force-full one bit for bit.
+    force_full_worklist: bool,
 }
 
 /// A remembered candidate frame used by the stability locking gate.
@@ -128,8 +178,13 @@ impl DecodeState {
 /// are re-derived from `residual_sums` in `O(1)` and pushed into the
 /// tournament tree.  Nothing is ever recomputed by walking a node's full
 /// slot list after initialization.
-struct PositionState<'a> {
-    decoder: &'a BitFlippingDecoder,
+///
+/// The state holds no reference to its decoder — every method takes the
+/// decoder as a parameter — so the worklist schedule can keep one state per
+/// position alive across decode calls while the decoder itself mutates
+/// (locks, new slots, channel refits).
+#[derive(Debug, Clone)]
+struct PositionState {
     /// Candidate bit per node.
     b: Vec<bool>,
     /// Slot residuals `r_j = y_j − Σ_i D_{j,i} h_i b_i`.
@@ -146,17 +201,23 @@ struct PositionState<'a> {
     touched_mark: Vec<bool>,
 }
 
+/// Cold restarts per position: one deterministic all-zeros start plus three
+/// pseudorandom ones.  `decode_position` (FullPass) always runs the battery;
+/// the worklist schedule runs it only for stuck positions under stall
+/// escalation.
+const COLD_RESTARTS: u64 = 4;
+
 /// The O(1) flip-gain formula: `2·Re(S · conj(c)) − deg·|c|²` for a node with
 /// residual sum `S`, flip change `c = ±h`, and `deg` participating slots.
 fn flip_gain(s: Complex, c: Complex, deg: usize) -> f64 {
     2.0 * (s.re * c.re + s.im * c.im) - deg as f64 * c.norm_sqr()
 }
 
-impl<'a> PositionState<'a> {
+impl PositionState {
     /// Allocates a state sized for `decoder` and seeds it for
     /// (`position`, `restart`).  Later restarts re-seed the same allocations
     /// through [`PositionState::reinit`] instead of rebuilding from scratch.
-    fn new(decoder: &'a BitFlippingDecoder, position: usize, restart: u64) -> Self {
+    fn new(decoder: &BitFlippingDecoder, position: usize, restart: u64) -> Self {
         let k = decoder.channels.len();
         let l = decoder.d.rows();
         // The tracker is seeded from the placeholder gains and immediately
@@ -165,7 +226,6 @@ impl<'a> PositionState<'a> {
         let gains = vec![f64::NEG_INFINITY; k];
         let tracker = MaxTracker::new(&gains);
         let mut state = Self {
-            decoder,
             b: vec![false; k],
             residual: vec![Complex::ZERO; l],
             residual_sums: vec![Complex::ZERO; k],
@@ -174,7 +234,7 @@ impl<'a> PositionState<'a> {
             touched: Vec::with_capacity(k),
             touched_mark: vec![false; k],
         };
-        state.reinit(position, restart);
+        state.reinit(decoder, position, restart);
         state
     }
 
@@ -183,8 +243,7 @@ impl<'a> PositionState<'a> {
     /// start when collisions are sparse; locked nodes always use their
     /// verified bit).  Performs exactly the arithmetic the from-scratch build
     /// would, so reusing a state cannot change a decode trajectory.
-    fn reinit(&mut self, position: usize, restart: u64) {
-        let decoder = self.decoder;
+    fn reinit(&mut self, decoder: &BitFlippingDecoder, position: usize, restart: u64) {
         let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(
             0xb17_f11b ^ position as u64,
             SplitMix64::mix(decoder.d.rows() as u64, restart),
@@ -232,23 +291,23 @@ impl<'a> PositionState<'a> {
     }
 
     /// The signal change flipping `node` would cause in its slots.
-    fn change_of(&self, node: usize) -> Complex {
+    fn change_of(&self, decoder: &BitFlippingDecoder, node: usize) -> Complex {
         if self.b[node] {
-            -self.decoder.channels[node]
+            -decoder.channels[node]
         } else {
-            self.decoder.channels[node]
+            decoder.channels[node]
         }
     }
 
     /// O(1) gain of flipping `node`, derived from its residual sum.
-    fn gain_of(&self, node: usize) -> f64 {
-        if self.decoder.locked[node].is_some() {
+    fn gain_of(&self, decoder: &BitFlippingDecoder, node: usize) -> f64 {
+        if decoder.locked[node].is_some() {
             return f64::NEG_INFINITY;
         }
         flip_gain(
             self.residual_sums[node],
-            self.change_of(node),
-            self.decoder.d.col(node).len(),
+            self.change_of(decoder, node),
+            decoder.d.col(node).len(),
         )
     }
 
@@ -260,26 +319,61 @@ impl<'a> PositionState<'a> {
         }
     }
 
+    /// Drains the touched queue, re-deriving each queued node's gain and
+    /// pushing it into the tournament tree.
+    fn refresh_touched(&mut self, decoder: &BitFlippingDecoder) {
+        while let Some(node) = self.touched.pop() {
+            self.touched_mark[node] = false;
+            let g = self.gain_of(decoder, node);
+            self.gains[node] = g;
+            self.tracker.set(node, g);
+        }
+    }
+
     /// Applies the flips in `nodes` and refreshes every touched gain.
-    fn flip_all(&mut self, nodes: &[usize]) {
+    fn flip_all(&mut self, decoder: &BitFlippingDecoder, nodes: &[usize]) {
         for &node in nodes {
-            let change = self.change_of(node);
+            let change = self.change_of(decoder, node);
             self.b[node] = !self.b[node];
             self.mark_touched(node);
-            for &j in self.decoder.d.col(node) {
+            for &j in decoder.d.col(node) {
                 self.residual[j] -= change;
-                for &i in self.decoder.d.row(j) {
+                for &i in decoder.d.row(j) {
                     self.residual_sums[i] -= change;
                     self.mark_touched(i);
                 }
             }
         }
-        while let Some(node) = self.touched.pop() {
-            self.touched_mark[node] = false;
-            let g = self.gain_of(node);
-            self.gains[node] = g;
-            self.tracker.set(node, g);
+        self.refresh_touched(decoder);
+    }
+
+    /// Absorbs one freshly appended participation row (`row` must be the
+    /// next unseen slot): computes its residual under the current candidate
+    /// bits, folds it into the participants' residual sums, and refreshes
+    /// their gains point-wise in the tournament tree.  Returns whether any
+    /// *unlocked* node's gain moved — the signal the worklist scheduler uses
+    /// to decide whether the position needs revisiting (a slot whose
+    /// participants are all locked, or that nobody joined, cannot change the
+    /// descent's fixed point).
+    fn append_row(&mut self, decoder: &BitFlippingDecoder, row: usize, position: usize) -> bool {
+        debug_assert_eq!(row, self.residual.len(), "rows must be absorbed in order");
+        let cols = decoder.d.row(row);
+        let fit: Complex = cols
+            .iter()
+            .filter(|&&i| self.b[i])
+            .map(|&i| decoder.channels[i])
+            .sum();
+        let r = decoder.y[row][position] - fit;
+        self.residual.push(r);
+        let mut any_unlocked = false;
+        for &i in cols {
+            self.residual_sums[i] += r;
+            let g = self.gain_of(decoder, i);
+            self.gains[i] = g;
+            self.tracker.set(i, g);
+            any_unlocked |= decoder.locked[i].is_none();
         }
+        any_unlocked
     }
 
     /// The `(node, gain)` of the most profitable single flip.
@@ -296,24 +390,18 @@ impl<'a> PositionState<'a> {
     /// `G_{i,l} = G_i + G_l − 2·n_{il}·Re(c_i · conj(c_l))`, so each candidate
     /// pair costs O(1) via the neighbour index (non-colliding pairs have no
     /// cross term and cannot beat their individual, non-positive, gains).
-    fn best_pair(&self) -> Option<[usize; 2]> {
-        let neighbors_of = |node: usize| {
-            self.decoder
-                .d
-                .neighbors(node)
-                .expect("decoder matrices track neighbors")
-        };
+    fn best_pair(&self, decoder: &BitFlippingDecoder) -> Option<[usize; 2]> {
         let mut best: Option<(f64, [usize; 2])> = None;
         for i in 0..self.b.len() {
-            if self.decoder.locked[i].is_some() {
+            if decoder.locked[i].is_some() {
                 continue;
             }
-            let ci = self.change_of(i);
-            for &(l, shared) in neighbors_of(i) {
-                if l <= i || self.decoder.locked[l].is_some() {
+            let ci = self.change_of(decoder, i);
+            for &(l, shared) in decoder.d.neighbors_or_empty(i) {
+                if l <= i || decoder.locked[l].is_some() {
                     continue;
                 }
-                let cl = self.change_of(l);
+                let cl = self.change_of(decoder, l);
                 let cross = ci.re * cl.re + ci.im * cl.im;
                 let joint_gain = self.gains[i] + self.gains[l] - 2.0 * shared as f64 * cross;
                 if joint_gain > 1e-9 && best.as_ref().is_none_or(|(g, _)| joint_gain > *g) {
@@ -369,7 +457,46 @@ impl BitFlippingDecoder {
             previous_candidates: vec![None; k],
             max_flips_per_position: 200 * k,
             participant_scratch: Vec::with_capacity(k),
+            schedule: DecodeSchedule::default(),
+            worklist: None,
+            force_full_worklist: false,
         })
+    }
+
+    /// Selects the decode schedule (builder style).  Switching schedules
+    /// discards any persistent worklist state, so the next decode starts the
+    /// new schedule from a clean slate.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: DecodeSchedule) -> Self {
+        if self.schedule != schedule {
+            self.worklist = None;
+        }
+        self.schedule = schedule;
+        self
+    }
+
+    /// The decode schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> DecodeSchedule {
+        self.schedule
+    }
+
+    /// Verification knob for [`DecodeSchedule::Worklist`]: visit every
+    /// position each pass instead of only the dirty ones.  Skipping converged
+    /// positions is designed to be a no-op; the differential tests pin that
+    /// by running a skipping decoder against a force-full one bit for bit.
+    pub fn force_full_worklist(&mut self, on: bool) {
+        self.force_full_worklist = on;
+    }
+
+    /// How many times the worklist schedule has descended each bit position
+    /// (`None` before the first worklist decode, or under
+    /// [`DecodeSchedule::FullPass`]).  A position a decode call skipped keeps
+    /// its previous count — the observable behind "converged positions are
+    /// genuinely skipped".
+    #[must_use]
+    pub fn worklist_position_visits(&self) -> Option<&[u64]> {
+        self.worklist.as_deref().map(|wl| wl.visits.as_slice())
     }
 
     /// Number of nodes.
@@ -428,6 +555,15 @@ impl BitFlippingDecoder {
                 "decode requires at least one collision slot",
             ));
         }
+        match self.schedule {
+            DecodeSchedule::FullPass => self.decode_full_pass(),
+            DecodeSchedule::Worklist => self.decode_worklist(),
+        }
+    }
+
+    /// The historical decode: every call re-derives every bit position from
+    /// scratch.  Kept byte-identical to the PR 3 decoder.
+    fn decode_full_pass(&mut self) -> BuzzResult<DecodeState> {
         let k = self.channels.len();
         let p = self.message_bits;
         let l = self.d.rows();
@@ -457,66 +593,391 @@ impl BitFlippingDecoder {
             }
             let per_slot_residual: Vec<f64> = slot_power.iter().map(|&t| t / p as f64).collect();
 
-            // Lock candidates that pass the CRC *and* one of two confidence
-            // checks.  The CRC alone (5 bits) is too weak against the many
-            // garbage candidates an incremental decoder produces, and a false
-            // lock would poison all subsequent decoding.  A candidate is
-            // trusted when either
-            //   (a) the fit over the slots it participated in is explained by
-            //       noise (goodness-of-fit gate), or
-            //   (b) the candidate is unchanged from the previous decode call
-            //       even though new collision slots involving the node have
-            //       arrived since (stability gate) — this path covers
-            //       unmodelled interference, where residuals never reach the
-            //       noise floor but correct messages still stabilize.
-            let mut locked_this_pass = false;
-            for node in 0..k {
-                if self.locked[node].is_some() {
-                    continue;
-                }
-                if !matches!(Message::verify(&frames[node]), Ok(Some(_))) {
-                    continue;
-                }
-                let fit_ok = self.fit_is_plausible(node, &per_slot_residual);
-                // The stability path tolerates a residual floor above the
-                // noise (unmodelled interference, imperfect channel
-                // estimates) but still insists that the node's *own* signal is
-                // mostly explained — a wrong frame leaves ≈|h|² of unexplained
-                // energy in the node's slots and is rejected regardless of how
-                // stable it looks.
-                let slots_of_node = self.d.col(node);
-                let own_fit_ok = !slots_of_node.is_empty() && {
-                    let mean_residual: f64 = slots_of_node
-                        .iter()
-                        .map(|&j| per_slot_residual[j])
-                        .sum::<f64>()
-                        / slots_of_node.len() as f64;
-                    mean_residual <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
-                };
-                let stable_ok = own_fit_ok
-                    && match &self.previous_candidates[node] {
-                        Some(snapshot) => {
-                            snapshot.frame == frames[node]
-                                && self.d.col(node).len() > snapshot.evidence
-                                && snapshot.stable_streak >= 1
-                        }
-                        None => false,
-                    };
-                if fit_ok || stable_ok {
-                    self.locked[node] = Some(frames[node].clone());
-                    newly_decoded.push(node);
-                    locked_this_pass = true;
-                }
-            }
+            let locked_now = self.lock_pass(&frames, &per_slot_residual, &mut newly_decoded);
             let all_locked = self.locked.iter().all(Option::is_some);
-            if !locked_this_pass || all_locked {
+            if locked_now.is_empty() || all_locked {
                 break;
             }
         }
 
-        // Snapshot the remaining candidates so the next decode call (after new
-        // slots arrive) can apply the stability gate.
+        self.snapshot_candidates(&frames);
+
+        // With the pass finished, refine the channel estimates from the data
+        // itself: the (mostly correct) candidate bit matrix and the received
+        // symbols over-determine `H`, and a least-squares refit washes out the
+        // estimation error the identification phase left behind.  The improved
+        // estimates take effect on the next decode call.
+        if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
+            self.reestimate_channels();
+        }
+
+        Ok(DecodeState {
+            decoded_payloads: self.decoded_payloads(),
+            newly_decoded,
+            candidate_frames: frames,
+        })
+    }
+
+    /// The worklist decode: persistent per-position states, only dirty
+    /// positions revisited.  See the module docs for the dirtiness rules.
+    fn decode_worklist(&mut self) -> BuzzResult<DecodeState> {
+        let p = self.message_bits;
+        // The worklist is detached from `self` while decoding so the states
+        // can be mutated against `&self` context (locks are applied between
+        // descent phases, never during one).
+        let mut wl = match self.worklist.take() {
+            Some(mut wl) => {
+                wl.sync_new_rows(self);
+                wl
+            }
+            None => Box::new(WorklistState::new(self)),
+        };
+
+        // Stall escalation: greedy warm continuation inherits early-evidence
+        // local minima, and those can survive indefinitely — loudly (stuck
+        // positions whose residual exceeds what noise explains) or silently
+        // (a weak node's wrong bits cost less error than the noise floor)
+        // — while the locking gates starve.  When the session stalls (no
+        // lock for a couple of calls), every position races the full cold
+        // restart battery (exactly the descents a FullPass call would run)
+        // against its warm state and keeps the better minimum, i.e. the
+        // decoder periodically cross-checks itself against one FullPass
+        // call.  The trigger follows a multiplicative evidence schedule
+        // (the next escalation waits for ~1.5× the rows), so a session pays
+        // O(log rows) batteries, not one per call.  Everything derives from
+        // decoder state, so determinism is preserved.
+        let mut escalate = !self.locked.iter().all(Option::is_some)
+            && wl.calls_since_lock >= 2
+            && self.d.rows() >= wl.next_escalation_rows;
+        if escalate {
+            wl.next_escalation_rows = (self.d.rows() + 2).max(self.d.rows() * 3 / 2);
+            wl.dirty.fill(true);
+        }
+
+        let mut newly_decoded = Vec::new();
+        loop {
+            // Descend the dirty positions (in position order, so the schedule
+            // is deterministic); skip everything that provably converged.
+            for position in 0..p {
+                if !(wl.dirty[position] || self.force_full_worklist) {
+                    continue;
+                }
+                wl.dirty[position] = false;
+                wl.visits[position] += 1;
+                let state = &mut wl.positions[position];
+                self.descend(state);
+                if escalate {
+                    for restart in 0..COLD_RESTARTS {
+                        let mut cold = PositionState::new(self, position, restart);
+                        self.descend(&mut cold);
+                        if cold.error() < state.error() {
+                            *state = cold;
+                        }
+                    }
+                }
+                // Refresh the candidate frame column and the slot-power
+                // ledger for this position (the ledger is diffed, so clean
+                // positions contribute their cached values for free).
+                for (node, frame) in wl.frames.iter_mut().enumerate() {
+                    frame[position] = state.b[node];
+                }
+                for (j, cached) in wl.position_slot_power[position].iter_mut().enumerate() {
+                    let power = state.residual[j].norm_sqr();
+                    wl.slot_power_total[j] += power - *cached;
+                    *cached = power;
+                }
+            }
+            // The cold battery belongs to the call's first sweep only:
+            // re-running it in later passes would race against a *changed*
+            // locked set and could move positions the dirty tracking never
+            // marked, breaking the skip-is-a-no-op invariant.
+            escalate = false;
+
+            let per_slot_residual: Vec<f64> =
+                wl.slot_power_total.iter().map(|&t| t / p as f64).collect();
+            let locked_now = self.lock_pass(&wl.frames, &per_slot_residual, &mut newly_decoded);
+            if !locked_now.is_empty() {
+                self.apply_locks_to_worklist(&mut wl, &locked_now);
+            }
+            let all_locked = self.locked.iter().all(Option::is_some);
+            if locked_now.is_empty() || all_locked {
+                break;
+            }
+        }
+
+        self.audit_locks(&mut wl);
+        // A lock the audit just erased must not be reported as decoded by
+        // this call (its payload is `None` again); if it re-locks later it
+        // will be reported then.  `newly_decoded` therefore lists the nodes
+        // whose lock *survived* the call — across an erase/re-lock cycle a
+        // node can appear in two calls' reports, which the rateless loop's
+        // per-slot series tolerates (it only sums counts) and the erasure
+        // safety net makes rare by construction.
+        newly_decoded.retain(|&node| self.locked[node].is_some());
+        self.snapshot_candidates(&wl.frames);
+
+        // Channel refits perturb the residuals of every slot a refitted node
+        // participates in; propagate those deltas into the persistent states
+        // (dirtying the affected positions) so the next call descends from a
+        // consistent ledger.
+        if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
+            let changes = self.reestimate_channels();
+            self.apply_channel_changes_to_worklist(&mut wl, &changes);
+        }
+
+        if newly_decoded.is_empty() {
+            wl.calls_since_lock = wl.calls_since_lock.saturating_add(1);
+        } else {
+            wl.calls_since_lock = 0;
+        }
+
+        let state = DecodeState {
+            decoded_payloads: self.decoded_payloads(),
+            newly_decoded,
+            candidate_frames: wl.frames.clone(),
+        };
+        self.worklist = Some(wl);
+        Ok(state)
+    }
+
+    /// Pins the freshly locked nodes into every persistent position state:
+    /// where the candidate bit disagrees with the verified frame the node is
+    /// flipped (the perturbation propagates through its CSC column to the
+    /// shared slots and on to the neighbours' gains, dirtying the position);
+    /// where it already agrees only the gain is pinned, which cannot
+    /// invalidate a converged fixed point.
+    fn apply_locks_to_worklist(&self, wl: &mut WorklistState, locked_now: &[usize]) {
+        for &node in locked_now {
+            let frame = self.locked[node]
+                .clone()
+                .expect("lock_pass recorded this node");
+            for (position, &want) in frame.iter().enumerate() {
+                let state = &mut wl.positions[position];
+                if state.b[node] != want {
+                    state.flip_all(self, &[node]);
+                    wl.dirty[position] = true;
+                } else {
+                    state.gains[node] = f64::NEG_INFINITY;
+                    state.tracker.set(node, f64::NEG_INFINITY);
+                }
+            }
+            // The candidate frame of a locked node is its verified frame.
+            wl.frames[node] = frame;
+            wl.lock_rows[node] = self.d.rows();
+        }
+    }
+
+    /// Post-lock audit (decision feedback with erasure): a *wrong* lock
+    /// reveals itself as evidence accumulates, because its pinned bits
+    /// inject ≈`|h|²` of energy into every new slot the node participates
+    /// in, which no descent can explain away.  Any locked node whose mean
+    /// own-slot residual climbs far above the plausibility threshold after
+    /// it has gathered fresh evidence is unlocked again: its gains are
+    /// un-pinned in every persistent state (point updates into the
+    /// tournament trees), its stability snapshot is cleared, and every
+    /// position is dirtied so the next descents can rewrite its bits.
+    /// Correct locks pass the audit — their slots stay explained — so this
+    /// is a safety net with no steady-state cost.  Worklist-only: FullPass
+    /// keeps its historical lock-forever behaviour bit-for-bit.
+    fn audit_locks(&mut self, wl: &mut WorklistState) {
+        const AUDIT_EVIDENCE_ROWS: usize = 4;
+        let p = self.message_bits;
+        let rows = self.d.rows();
+        // One erasure per call, worst offender first: when several locks
+        // look implausible at once, the pollution usually radiates from one
+        // wrong decision — erase it, let the residuals settle, and re-judge
+        // the rest on the next call instead of mass-unlocking half the
+        // session.
+        let mut worst: Option<(f64, usize)> = None;
+        for node in 0..self.channels.len() {
+            if self.locked[node].is_none() {
+                continue;
+            }
+            let locked_at = wl.lock_rows[node];
+            if rows < locked_at.saturating_add(AUDIT_EVIDENCE_ROWS) {
+                continue;
+            }
+            let slots = self.d.col(node);
+            if slots.is_empty() {
+                continue;
+            }
+            let mean_residual: f64 = slots
+                .iter()
+                .map(|&j| wl.slot_power_total[j] / p as f64)
+                .sum::<f64>()
+                / slots.len() as f64;
+            let threshold = 0.25 * self.channels[node].norm_sqr() + 8.0 * self.noise_power;
+            let severity = mean_residual / threshold.max(1e-300);
+            if severity > 1.0 && worst.as_ref().is_none_or(|&(s, _)| severity > s) {
+                worst = Some((severity, node));
+            }
+        }
+        let Some((_, node)) = worst else {
+            return;
+        };
+        self.locked[node] = None;
+        self.previous_candidates[node] = None;
+        wl.lock_rows[node] = usize::MAX;
+        for (position, state) in wl.positions.iter_mut().enumerate() {
+            let gain = state.gain_of(self, node);
+            state.gains[node] = gain;
+            state.tracker.set(node, gain);
+            wl.dirty[position] = true;
+        }
+        // The erased bits need fresh evidence-driven descents; treat the
+        // unlock like a stall so escalation re-arms promptly.
+        wl.calls_since_lock = wl.calls_since_lock.max(2);
+    }
+
+    /// Propagates channel-refit deltas into the persistent position states.
+    /// Only positions where the refitted (locked) node actually transmits a
+    /// `1` carry its signal, and within those only the node's slots and their
+    /// row neighbours are touched.
+    fn apply_channel_changes_to_worklist(
+        &self,
+        wl: &mut WorklistState,
+        changes: &[(usize, Complex)],
+    ) {
+        for &(node, delta) in changes {
+            let frame = self.locked[node]
+                .clone()
+                .expect("channel refits only move locked nodes");
+            for (position, &bit) in frame.iter().enumerate() {
+                if !bit {
+                    continue;
+                }
+                let state = &mut wl.positions[position];
+                for &j in self.d.col(node) {
+                    state.residual[j] -= delta;
+                    for &i in self.d.row(j) {
+                        state.residual_sums[i] -= delta;
+                        state.mark_touched(i);
+                    }
+                }
+                state.refresh_touched(self);
+                wl.dirty[position] = true;
+            }
+        }
+    }
+
+    /// One CRC-and-confidence locking sweep over the candidate frames (the
+    /// shared tail of both schedules).  Locks every node that qualifies,
+    /// appends them to `newly_decoded`, and returns the nodes locked by this
+    /// pass.
+    ///
+    /// A candidate is trusted when either
+    ///   (a) the fit over the slots it participated in is explained by noise
+    ///       (goodness-of-fit gate), or
+    ///   (b) the candidate is unchanged from the previous decode call even
+    ///       though new collision slots involving the node have arrived since
+    ///       (stability gate) — this path covers unmodelled interference,
+    ///       where residuals never reach the noise floor but correct messages
+    ///       still stabilize.
+    /// The CRC alone (5 bits) is too weak against the many garbage candidates
+    /// an incremental decoder produces, and a false lock would poison all
+    /// subsequent decoding.
+    fn lock_pass(
+        &mut self,
+        frames: &[Vec<bool>],
+        per_slot_residual: &[f64],
+        newly_decoded: &mut Vec<usize>,
+    ) -> Vec<usize> {
+        let k = self.channels.len();
+        let mut locked_now = Vec::new();
         for node in 0..k {
+            if self.locked[node].is_some() {
+                continue;
+            }
+            if !matches!(Message::verify(&frames[node]), Ok(Some(_))) {
+                continue;
+            }
+            // A node observed in only one or two slots shared with other
+            // *unlocked* nodes is underdetermined: overfit assignments
+            // explain the data exactly, and a 5-bit CRC passes by luck for
+            // one candidate in 32 — a wrong lock then poisons the whole
+            // session.  The worklist schedule therefore requires either
+            // enough participations, or that every one of the node's slots
+            // is *clean* — all co-participants already locked, making each
+            // observation a direct measurement with no overfit freedom
+            // (how a weak straggler legitimately locks from one or two
+            // looks once the rest of the population is resolved).
+            // FullPass keeps its historical behaviour bit-for-bit; its
+            // per-call candidate jitter makes persistent overfit luck much
+            // rarer.
+            const MIN_WORKLIST_LOCK_EVIDENCE: usize = 3;
+            if self.schedule == DecodeSchedule::Worklist {
+                let clean_observations = !self.d.col(node).is_empty()
+                    && self.d.col(node).iter().all(|&j| {
+                        self.d
+                            .row(j)
+                            .iter()
+                            .all(|&i| i == node || self.locked[i].is_some())
+                    });
+                if !clean_observations {
+                    if self.d.col(node).len() < MIN_WORKLIST_LOCK_EVIDENCE {
+                        continue;
+                    }
+                    // Overfit-pressure floor: while the unlocked population
+                    // dwarfs the slot count, the descent can explain the
+                    // data exactly no matter what, so a passing fit carries
+                    // no information and only the 5-bit CRC stands between
+                    // a garbage candidate and a poisonous lock.  Demand
+                    // rows ≥ unlocked/2 before trusting entangled fits; the
+                    // floor falls as locks accumulate, so the decode ripple
+                    // accelerates itself.
+                    let unlocked = self.locked.iter().filter(|l| l.is_none()).count();
+                    if self.d.rows() < unlocked / 2 {
+                        continue;
+                    }
+                }
+            }
+            let fit_ok = self.fit_is_plausible(node, per_slot_residual);
+            // The stability path tolerates a residual floor above the noise
+            // (unmodelled interference, imperfect channel estimates) but
+            // still insists that the node's *own* signal is mostly explained
+            // — a wrong frame leaves ≈|h|² of unexplained energy in the
+            // node's slots and is rejected regardless of how stable it looks.
+            let slots_of_node = self.d.col(node);
+            let own_fit_ok = !slots_of_node.is_empty() && {
+                let mean_residual: f64 = slots_of_node
+                    .iter()
+                    .map(|&j| per_slot_residual[j])
+                    .sum::<f64>()
+                    / slots_of_node.len() as f64;
+                mean_residual <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
+            };
+            // FullPass candidates jitter from call to call until they are
+            // right (every call restarts cold), so two consecutive stable
+            // sightings already carry signal.  Worklist candidates are stable
+            // *by construction* — the warm state only moves when perturbed —
+            // so a much longer streak is required before stability is taken
+            // as evidence of correctness rather than of persistence.
+            let required_streak = match self.schedule {
+                DecodeSchedule::FullPass => 1,
+                DecodeSchedule::Worklist => 8,
+            };
+            let stable_ok = own_fit_ok
+                && match &self.previous_candidates[node] {
+                    Some(snapshot) => {
+                        snapshot.frame == frames[node]
+                            && self.d.col(node).len() > snapshot.evidence
+                            && snapshot.stable_streak >= required_streak
+                    }
+                    None => false,
+                };
+            if fit_ok || stable_ok {
+                self.locked[node] = Some(frames[node].clone());
+                newly_decoded.push(node);
+                locked_now.push(node);
+            }
+        }
+        locked_now
+    }
+
+    /// Remembers the still-unlocked candidates so the next decode call (after
+    /// new slots arrive) can apply the stability gate.
+    fn snapshot_candidates(&mut self, frames: &[Vec<bool>]) {
+        for node in 0..self.channels.len() {
             if self.locked[node].is_some() {
                 continue;
             }
@@ -537,26 +998,14 @@ impl BitFlippingDecoder {
                 stable_streak: streak,
             });
         }
+    }
 
-        // With the pass finished, refine the channel estimates from the data
-        // itself: the (mostly correct) candidate bit matrix and the received
-        // symbols over-determine `H`, and a least-squares refit washes out the
-        // estimation error the identification phase left behind.  The improved
-        // estimates take effect on the next decode call.
-        if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
-            self.reestimate_channels(&frames);
-        }
-
-        let decoded_payloads = self
-            .locked
+    /// The locked payloads (CRC stripped), `None` for undecoded nodes.
+    fn decoded_payloads(&self) -> Vec<Option<Vec<bool>>> {
+        self.locked
             .iter()
             .map(|l| l.as_ref().map(|f| f[..f.len() - 5].to_vec()))
-            .collect();
-        Ok(DecodeState {
-            decoded_payloads,
-            newly_decoded,
-            candidate_frames: frames,
-        })
+            .collect()
     }
 
     /// Refits the channel estimates of *locked* nodes by least squares.
@@ -568,14 +1017,17 @@ impl BitFlippingDecoder {
     /// this refit sharpens the interference cancellation that still-undecoded
     /// nodes depend on.  Slots containing any unlocked node are excluded so a
     /// wrong candidate can never distort the refit.
-    fn reestimate_channels(&mut self, _frames: &[Vec<bool>]) {
+    ///
+    /// Returns the applied updates as `(node, new − old)` deltas so the
+    /// worklist schedule can propagate them into its persistent states.
+    fn reestimate_channels(&mut self) -> Vec<(usize, Complex)> {
         let k = self.channels.len();
         let p = self.message_bits;
         let locked_only_slots: Vec<usize> = (0..self.d.rows())
             .filter(|&j| self.d.row(j).iter().all(|&i| self.locked[i].is_some()))
             .collect();
         if locked_only_slots.is_empty() {
-            return;
+            return Vec::new();
         }
         let involved: Vec<usize> = (0..k)
             .filter(|&i| {
@@ -586,7 +1038,7 @@ impl BitFlippingDecoder {
             })
             .collect();
         if involved.is_empty() {
-            return;
+            return Vec::new();
         }
         // Normal equations over the involved nodes only.  The node → index
         // map is precomputed once (dense, usize::MAX = absent) so the inner
@@ -633,16 +1085,22 @@ impl BitFlippingDecoder {
             }
         }
         let Ok(refit) = sparse_recovery::linalg::solve_square(&gram, &rhs) else {
-            return;
+            return Vec::new();
         };
+        let mut changes = Vec::new();
         for (slot_in_refit, &node) in involved.iter().enumerate() {
             let candidate = refit[slot_in_refit];
             // Ignore degenerate refits (a node that appears in very few
             // locked-only symbols can be poorly determined).
             if candidate.is_finite() && gram_real[slot_in_refit][slot_in_refit] >= (2 * p) as f64 {
+                let delta = candidate - self.channels[node];
+                if delta.re != 0.0 || delta.im != 0.0 {
+                    changes.push((node, delta));
+                }
                 self.channels[node] = candidate;
             }
         }
+        changes
     }
 
     /// Whether the current fit over the slots `node` participated in is good
@@ -671,14 +1129,13 @@ impl BitFlippingDecoder {
     /// no allocation.  Returns the best assignment and its final slot
     /// residuals.
     fn decode_position(&self, position: usize) -> (Vec<bool>, Vec<Complex>) {
-        const RESTARTS: u64 = 4;
         let mut state = PositionState::new(self, position, 0);
         let mut best_error = f64::INFINITY;
         let mut best_bits: Vec<bool> = Vec::new();
         let mut best_residual: Vec<Complex> = Vec::new();
-        for restart in 0..RESTARTS {
+        for restart in 0..COLD_RESTARTS {
             if restart > 0 {
-                state.reinit(position, restart);
+                state.reinit(self, position, restart);
             }
             self.descend(&mut state);
             let error = state.error();
@@ -699,7 +1156,7 @@ impl BitFlippingDecoder {
     }
 
     /// One greedy descent from the state's current starting point.
-    fn descend(&self, state: &mut PositionState<'_>) {
+    fn descend(&self, state: &mut PositionState) {
         for _ in 0..self.max_flips_per_position {
             let (best, best_gain) = state.best_single();
             // Flip the single best bit when it has positive gain, otherwise
@@ -708,13 +1165,113 @@ impl BitFlippingDecoder {
             // descent cannot cross such saddle points, which become common as
             // more nodes collide per slot).
             if best_gain > 1e-12 {
-                state.flip_all(&[best]);
-            } else if let Some(pair) = state.best_pair() {
-                state.flip_all(&pair);
+                state.flip_all(self, &[best]);
+            } else if let Some(pair) = state.best_pair(self) {
+                state.flip_all(self, &pair);
             } else {
                 break;
             }
         }
+    }
+}
+
+/// The persistent scheduling state of [`DecodeSchedule::Worklist`]: one
+/// descent state per bit position, the dirty set, and the ledgers the
+/// locking gates read (candidate frames, per-slot residual power).
+///
+/// Invariant: `slot_power_total[j]` is always the sum over positions of
+/// `position_slot_power[·][j]`, and a *clean* position's cached powers match
+/// its state's residuals exactly — dirty positions may lag (lock flips and
+/// refit deltas perturb residuals between descents), which is safe because
+/// the gates only read the ledger after every dirty position has been
+/// descended and refreshed.
+#[derive(Debug, Clone)]
+struct WorklistState {
+    /// One persistent descent state per bit position.
+    positions: Vec<PositionState>,
+    /// Rows of the participation matrix already absorbed by every state.
+    synced_rows: usize,
+    /// Candidate frame per node, column-refreshed as positions are visited.
+    frames: Vec<Vec<bool>>,
+    /// Cached per-position, per-slot residual power.
+    position_slot_power: Vec<Vec<f64>>,
+    /// Per-slot residual power summed over positions (the locking gates'
+    /// input, kept consistent by diffing against the per-position cache).
+    slot_power_total: Vec<f64>,
+    /// Positions whose fixed point may have moved since their last descent.
+    dirty: Vec<bool>,
+    /// How many times each position has been descended (the "converged
+    /// positions are genuinely skipped" observable).
+    visits: Vec<u64>,
+    /// Decode calls since the last successful lock (stall detector).
+    calls_since_lock: u32,
+    /// Row count at which the next stall escalation may fire (multiplicative
+    /// evidence schedule: each escalation pushes it to ~1.5× the rows).
+    next_escalation_rows: usize,
+    /// Per node: the row count when it was (last) locked, `usize::MAX` while
+    /// unlocked.  Drives the post-lock audit.
+    lock_rows: Vec<usize>,
+}
+
+impl WorklistState {
+    /// Builds persistent states over the decoder's current matrix, all
+    /// positions dirty (the first decode visits everything once).
+    fn new(decoder: &BitFlippingDecoder) -> Self {
+        let k = decoder.channels.len();
+        let p = decoder.message_bits;
+        let l = decoder.d.rows();
+        let positions: Vec<PositionState> = (0..p)
+            .map(|position| PositionState::new(decoder, position, 0))
+            .collect();
+        let mut frames = vec![vec![false; p]; k];
+        for (position, state) in positions.iter().enumerate() {
+            for (node, frame) in frames.iter_mut().enumerate() {
+                frame[position] = state.b[node];
+            }
+        }
+        Self {
+            positions,
+            synced_rows: l,
+            frames,
+            position_slot_power: vec![vec![0.0; l]; p],
+            slot_power_total: vec![0.0; l],
+            dirty: vec![true; p],
+            visits: vec![0; p],
+            calls_since_lock: 0,
+            next_escalation_rows: 0,
+            lock_rows: decoder
+                .locked
+                .iter()
+                .map(|locked| if locked.is_some() { l } else { usize::MAX })
+                .collect(),
+        }
+    }
+
+    /// Absorbs every participation row appended since the last decode call
+    /// into each persistent state, extending the slot-power ledgers and
+    /// dirtying the positions where an unlocked node's gain moved.
+    fn sync_new_rows(&mut self, decoder: &BitFlippingDecoder) {
+        let l = decoder.d.rows();
+        if self.synced_rows == l {
+            return;
+        }
+        self.slot_power_total.resize(l, 0.0);
+        for (position, state) in self.positions.iter_mut().enumerate() {
+            let mut perturbed = false;
+            for row in self.synced_rows..l {
+                perturbed |= state.append_row(decoder, row, position);
+            }
+            let powers = &mut self.position_slot_power[position];
+            for row in self.synced_rows..l {
+                let power = state.residual[row].norm_sqr();
+                powers.push(power);
+                self.slot_power_total[row] += power;
+            }
+            if perturbed {
+                self.dirty[position] = true;
+            }
+        }
+        self.synced_rows = l;
     }
 }
 
@@ -1006,13 +1563,12 @@ mod tests {
     /// Brute-force flip gain straight from the definition:
     /// `Σ_{j ∈ col(node)} |r_j|² − |r_j − c|²` (the pre-incremental decoder's
     /// inner loop).
-    fn reference_gain(state: &PositionState<'_>, node: usize) -> f64 {
-        if state.decoder.locked[node].is_some() {
+    fn reference_gain(decoder: &BitFlippingDecoder, state: &PositionState, node: usize) -> f64 {
+        if decoder.locked[node].is_some() {
             return f64::NEG_INFINITY;
         }
-        let change = state.change_of(node);
-        state
-            .decoder
+        let change = state.change_of(decoder, node);
+        decoder
             .d
             .col(node)
             .iter()
@@ -1021,28 +1577,36 @@ mod tests {
     }
 
     /// Brute-force slot residuals recomputed from the candidate bits.
-    fn reference_residuals(state: &PositionState<'_>, position: usize) -> Vec<Complex> {
-        (0..state.decoder.d.rows())
+    fn reference_residuals(
+        decoder: &BitFlippingDecoder,
+        state: &PositionState,
+        position: usize,
+    ) -> Vec<Complex> {
+        (0..decoder.d.rows())
             .map(|j| {
-                let fit: Complex = state
-                    .decoder
+                let fit: Complex = decoder
                     .d
                     .row(j)
                     .iter()
                     .filter(|&&i| state.b[i])
-                    .map(|&i| state.decoder.channels[i])
+                    .map(|&i| decoder.channels[i])
                     .sum();
-                state.decoder.y[j][position] - fit
+                decoder.y[j][position] - fit
             })
             .collect()
     }
 
     /// Brute-force joint pair gain straight from the residual definition,
     /// mirroring the pre-incremental `best_pair_flip` inner loop.
-    fn reference_pair_gain(state: &PositionState<'_>, i: usize, l: usize) -> f64 {
-        let ci = state.change_of(i);
-        let cl = state.change_of(l);
-        let d = &state.decoder.d;
+    fn reference_pair_gain(
+        decoder: &BitFlippingDecoder,
+        state: &PositionState,
+        i: usize,
+        l: usize,
+    ) -> f64 {
+        let ci = state.change_of(decoder, i);
+        let cl = state.change_of(decoder, l);
+        let d = &decoder.d;
         let mut rows: Vec<usize> = d.col(i).to_vec();
         for &j in d.col(l) {
             if !rows.contains(&j) {
@@ -1095,8 +1659,8 @@ mod tests {
             let position = (seed % 37) as usize;
             let mut state = PositionState::new(&decoder, position, restart);
             for &f in &flips {
-                state.flip_all(&[f as usize % k]);
-                let expected_residuals = reference_residuals(&state, position);
+                state.flip_all(&decoder, &[f as usize % k]);
+                let expected_residuals = reference_residuals(&decoder, &state, position);
                 for j in 0..decoder.d.rows() {
                     assert_close(state.residual[j].re, expected_residuals[j].re, "residual.re")?;
                     assert_close(state.residual[j].im, expected_residuals[j].im, "residual.im")?;
@@ -1105,7 +1669,7 @@ mod tests {
                     let s: Complex = decoder.d.col(node).iter().map(|&j| state.residual[j]).sum();
                     assert_close(state.residual_sums[node].re, s.re, "residual_sum.re")?;
                     assert_close(state.residual_sums[node].im, s.im, "residual_sum.im")?;
-                    assert_close(state.gains[node], reference_gain(&state, node), "gain")?;
+                    assert_close(state.gains[node], reference_gain(&decoder, &state, node), "gain")?;
                     assert_close(state.tracker.key(node), state.gains[node], "tracker key")?;
                 }
                 // The tournament winner must carry the true maximum gain.
@@ -1129,19 +1693,192 @@ mod tests {
             let (decoder, _frames) = make_problem(&channels, slots, 0.6, 0.02, seed % 500);
             let mut state = PositionState::new(&decoder, (seed % 7) as usize, 1);
             for &f in &flips {
-                state.flip_all(&[f as usize % k]);
+                state.flip_all(&decoder, &[f as usize % k]);
             }
             for i in 0..k {
                 for &(l, shared) in decoder.d.neighbors(i).unwrap() {
                     prop_assume!(l > i);
-                    let ci = state.change_of(i);
-                    let cl = state.change_of(l);
+                    let ci = state.change_of(&decoder, i);
+                    let cl = state.change_of(&decoder, l);
                     let cross = ci.re * cl.re + ci.im * cl.im;
                     let joint = state.gains[i] + state.gains[l] - 2.0 * shared as f64 * cross;
-                    assert_close(joint, reference_pair_gain(&state, i, l), "pair gain")?;
+                    assert_close(joint, reference_pair_gain(&decoder, &state, i, l), "pair gain")?;
                 }
             }
         }
+    }
+
+    // ----- worklist scheduler tests -------------------------------------
+
+    /// Deterministically generates the slot `slot` of the `make_problem`
+    /// stream for incremental feeding: participants plus noisy symbols.
+    /// `noise_rng` must be the stream seeded with `seed ^ 0xabcdef` and
+    /// consumed in slot order, exactly as `make_problem` does.
+    fn make_slot(
+        channels: &[Complex],
+        frames: &[Vec<bool>],
+        seeds: &[NodeSeed],
+        slot: u64,
+        p: f64,
+        noise: f64,
+        noise_rng: &mut Xoshiro256,
+    ) -> (Vec<bool>, Vec<Complex>) {
+        let participants: Vec<bool> = seeds
+            .iter()
+            .map(|s| s.participates_in_slot(slot, p))
+            .collect();
+        let symbols: Vec<Complex> = (0..frames[0].len())
+            .map(|pos| {
+                let mut y = Complex::ZERO;
+                for (i, frame) in frames.iter().enumerate() {
+                    if participants[i] && frame[pos] {
+                        y += channels[i];
+                    }
+                }
+                y + Complex::new(
+                    (noise_rng.next_f64() - 0.5) * noise,
+                    (noise_rng.next_f64() - 0.5) * noise,
+                )
+            })
+            .collect();
+        (participants, symbols)
+    }
+
+    proptest! {
+        /// The worklist scheduler's tentpole invariant: skipping converged
+        /// positions is a no-op.  A dirty-set decoder and a force-full-visit
+        /// decoder fed the same slot stream produce bit-identical
+        /// `DecodeState`s (payloads, newly-decoded order, candidate frames)
+        /// and identical refitted channels after every single decode call.
+        #[test]
+        fn worklist_skipping_matches_force_full_bit_for_bit(
+            seed in 0u64..100_000,
+            k in 2usize..7,
+            slots in 3usize..14,
+            noise in 0usize..3,
+        ) {
+            let noise = noise as f64 * 0.03;
+            let channels = diverse_channels(k, seed ^ 0x11aa);
+            let frames: Vec<Vec<bool>> = (0..k)
+                .map(|i| {
+                    Message::standard_32bit(seed * 100 + i as u64)
+                        .unwrap()
+                        .framed()
+                })
+                .collect();
+            let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(seed * 77 + i)).collect();
+            let mut lazy =
+                BitFlippingDecoder::new(channels.clone(), frames[0].len(), noise * noise / 6.0)
+                    .unwrap()
+                    .with_schedule(DecodeSchedule::Worklist);
+            let mut eager = lazy.clone();
+            eager.force_full_worklist(true);
+            let mut noise_rng = Xoshiro256::seed_from_u64(seed ^ 0xabcdef);
+            for slot in 0..slots as u64 {
+                let (participants, symbols) =
+                    make_slot(&channels, &frames, &seeds, slot, 0.5, noise, &mut noise_rng);
+                lazy.add_slot(&participants, symbols.clone()).unwrap();
+                eager.add_slot(&participants, symbols).unwrap();
+                let a = lazy.decode().unwrap();
+                let b = eager.decode().unwrap();
+                prop_assert_eq!(&a, &b, "slot {}", slot);
+                prop_assert_eq!(&lazy.channels, &eager.channels, "channels, slot {}", slot);
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_skips_converged_positions() {
+        // Once every message is locked, slots that cannot move any unlocked
+        // gain (empty slots, slots whose participants are all locked) must
+        // not trigger a single descent — the pass-visit counter freezes.
+        let channels = diverse_channels(4, 5);
+        let (decoder, _frames) = make_problem(&channels, 14, 0.7, 0.0, 5);
+        let mut decoder = decoder.with_schedule(DecodeSchedule::Worklist);
+        let state = decoder.decode().unwrap();
+        assert!(state.all_decoded(), "setup: everyone decodes noiselessly");
+        let visits_after_decode = decoder.worklist_position_visits().unwrap().to_vec();
+        assert!(visits_after_decode.iter().all(|&v| v >= 1));
+
+        // An empty slot and an all-locked collision slot arrive.
+        let p = decoder.message_bits;
+        decoder
+            .add_slot(&[false; 4], vec![Complex::ZERO; p])
+            .unwrap();
+        decoder.decode().unwrap();
+        decoder
+            .add_slot(&[true; 4], vec![Complex::new(0.3, -0.1); p])
+            .unwrap();
+        let after = decoder.decode().unwrap();
+        assert!(after.all_decoded());
+        assert_eq!(
+            decoder.worklist_position_visits().unwrap(),
+            &visits_after_decode[..],
+            "converged positions were revisited"
+        );
+    }
+
+    #[test]
+    fn worklist_decodes_the_same_messages_as_full_pass() {
+        // Cross-schedule contract: over the rateless loop both schedules
+        // deliver every message, and the payloads agree with the ground
+        // truth.  (Trajectories may differ — FullPass restarts cold each
+        // call — but the delivered messages must not.)
+        for seed in [3u64, 7, 21] {
+            let k = 8;
+            let channels = diverse_channels(k, seed);
+            let frames: Vec<Vec<bool>> = (0..k)
+                .map(|i| {
+                    Message::standard_32bit(seed * 100 + i as u64)
+                        .unwrap()
+                        .framed()
+                })
+                .collect();
+            let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(seed * 77 + i)).collect();
+            let noise = 0.03;
+            let mut full =
+                BitFlippingDecoder::new(channels.clone(), frames[0].len(), noise * noise / 6.0)
+                    .unwrap();
+            let mut work = full.clone().with_schedule(DecodeSchedule::Worklist);
+            let mut noise_rng = Xoshiro256::seed_from_u64(seed ^ 0xabcdef);
+            let mut last_full = None;
+            let mut last_work = None;
+            for slot in 0..40u64 {
+                let (participants, symbols) =
+                    make_slot(&channels, &frames, &seeds, slot, 0.5, noise, &mut noise_rng);
+                full.add_slot(&participants, symbols.clone()).unwrap();
+                work.add_slot(&participants, symbols).unwrap();
+                let f = full.decode().unwrap();
+                let w = work.decode().unwrap();
+                let done = f.all_decoded() && w.all_decoded();
+                last_full = Some(f);
+                last_work = Some(w);
+                if done {
+                    break;
+                }
+            }
+            let f = last_full.unwrap();
+            let w = last_work.unwrap();
+            assert!(f.all_decoded(), "seed {seed}: full-pass incomplete");
+            assert!(w.all_decoded(), "seed {seed}: worklist incomplete");
+            for (i, frame) in frames.iter().enumerate() {
+                assert_eq!(f.decoded_payloads[i].as_ref().unwrap(), &frame[..32]);
+                assert_eq!(w.decoded_payloads[i].as_ref().unwrap(), &frame[..32]);
+            }
+        }
+    }
+
+    #[test]
+    fn switching_schedules_resets_the_worklist() {
+        let channels = diverse_channels(3, 9);
+        let (decoder, _frames) = make_problem(&channels, 6, 0.8, 0.0, 9);
+        let mut decoder = decoder.with_schedule(DecodeSchedule::Worklist);
+        assert_eq!(decoder.schedule(), DecodeSchedule::Worklist);
+        decoder.decode().unwrap();
+        assert!(decoder.worklist_position_visits().is_some());
+        let decoder = decoder.with_schedule(DecodeSchedule::FullPass);
+        assert_eq!(decoder.schedule(), DecodeSchedule::FullPass);
+        assert!(decoder.worklist_position_visits().is_none());
     }
 
     #[test]
@@ -1152,10 +1889,10 @@ mod tests {
         let (decoder, _frames) = make_problem(&channels, 16, 0.5, 0.04, 17);
         for position in [0usize, 5, 36] {
             let mut reused = PositionState::new(&decoder, position, 0);
-            reused.flip_all(&[0]);
-            reused.flip_all(&[3, 5]);
+            reused.flip_all(&decoder, &[0]);
+            reused.flip_all(&decoder, &[3, 5]);
             for restart in 0..4u64 {
-                reused.reinit(position, restart);
+                reused.reinit(&decoder, position, restart);
                 let fresh = PositionState::new(&decoder, position, restart);
                 assert_eq!(reused.b, fresh.b);
                 assert_eq!(reused.residual, fresh.residual);

@@ -25,7 +25,9 @@ use backscatter_sim::medium::Medium;
 use backscatter_sim::scenario::Scenario;
 use sparse_recovery::buckets::BucketHasher;
 use sparse_recovery::kest::{KEstimate, KEstimator, KEstimatorConfig};
-use sparse_recovery::omp::{prune_insignificant, OmpConfig, OmpSolver};
+use sparse_recovery::omp::{
+    prune_insignificant, prune_insignificant_incremental, OmpConfig, OmpSolver,
+};
 
 use crate::{BuzzError, BuzzResult};
 
@@ -47,6 +49,14 @@ pub struct IdentificationConfig {
     pub sensing_probability: f64,
     /// Magnitude-pruning fraction applied to the sparse solution.
     pub prune_fraction: f64,
+    /// Enables the large-population (K = 100+) pipeline: incremental
+    /// (Cholesky-based) sparse-recovery refits instead of the historical
+    /// direct solver, and temporary-id-space growth when a round restarts on
+    /// an id collision (a fixed `ids_per_bucket` space otherwise stays
+    /// collision-prone at birthday-bound populations).  Off by default: the
+    /// direct pipeline is kept bit-identical for the paper's K ≤ 16
+    /// figures.
+    pub large_population: bool,
     /// Maximum protocol restarts when tags draw colliding temporary ids.
     pub max_rounds: usize,
     /// Air-interface timing used for the Fig. 14 accounting.
@@ -62,6 +72,7 @@ impl Default for IdentificationConfig {
             measurement_factor: 2.5,
             sensing_probability: 0.5,
             prune_fraction: 0.02,
+            large_population: false,
             max_rounds: 8,
             timing: LinkTiming::paper_default(),
         }
@@ -298,6 +309,12 @@ impl Identifier {
                 // (the paper: "the reader starts over").  Account the trigger.
                 time_s += timing.downlink_s(ReaderCommand::BuzzTrigger.bits()) + timing.t1_s;
                 slots.reader_commands += 1;
+                if self.config.large_population {
+                    // With a fixed ids-per-bucket factor the id space is
+                    // linear in K̂ and birthday collisions recur at K = 100+;
+                    // grow the space so restarts actually converge.
+                    k_work += k_work.div_ceil(2);
+                }
                 continue;
             }
 
@@ -306,12 +323,18 @@ impl Identifier {
             slots.reader_commands += 1;
             let hasher = BucketHasher::for_buzz(k_work, self.config.c, round as u64)?;
             let num_buckets = hasher.num_buckets() as usize;
+            // Each tag's bucket is a pure function of its id: hash once per
+            // tag instead of once per (bucket, tag) pair — the bucket stage
+            // is O(buckets · K) slots on the air either way, but the reader
+            // model should not pay O(buckets · K) *hashes* on top (at
+            // K = 150 with c = 10 that is 2¼ million redundant mixes).
+            let tag_bucket: Vec<usize> = assignments
+                .iter()
+                .map(|&id| hasher.bucket_of(id) as usize)
+                .collect();
             let mut occupied = vec![false; num_buckets];
             for bucket in 0..num_buckets {
-                let bits: Vec<bool> = assignments
-                    .iter()
-                    .map(|&id| hasher.bucket_of(id) as usize == bucket)
-                    .collect();
+                let bits: Vec<bool> = tag_bucket.iter().map(|&b| b == bucket).collect();
                 slots.bucket += 1;
                 time_s += timing.uplink_symbol_s();
                 medium.begin_slot(slot_clock);
@@ -378,6 +401,7 @@ impl Identifier {
             let solver = OmpSolver::new(OmpConfig {
                 max_sparsity,
                 residual_tolerance: 1e-4,
+                incremental_refit: self.config.large_population,
             })?;
             let raw_solution = solver.solve(&a_reduced, &measurements)?;
 
@@ -385,13 +409,23 @@ impl Identifier {
             // by noise (a phantom tag in the discovered set would stall the
             // data phase), then apply a light relative-magnitude prune against
             // gross outliers.
-            let solution = prune_insignificant(
-                &a_reduced,
-                &measurements,
-                &raw_solution,
-                medium.noise_power(),
-                4.0,
-            )?;
+            let solution = if self.config.large_population {
+                prune_insignificant_incremental(
+                    &a_reduced,
+                    &measurements,
+                    &raw_solution,
+                    medium.noise_power(),
+                    4.0,
+                )?
+            } else {
+                prune_insignificant(
+                    &a_reduced,
+                    &measurements,
+                    &raw_solution,
+                    medium.noise_power(),
+                    4.0,
+                )?
+            };
             let max_mag = solution
                 .values
                 .iter()
@@ -462,10 +496,10 @@ impl Identifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     fn run_for(k: usize, seed: u64) -> (Scenario, IdentificationOutcome) {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, seed)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(k, seed).build().unwrap();
         let mut medium = scenario.medium(seed ^ 0xfeed).unwrap();
         let outcome = Identifier::new(IdentificationConfig::default())
             .unwrap()

@@ -31,11 +31,11 @@
 //! # Quick start
 //!
 //! ```
-//! use backscatter_sim::{Scenario, ScenarioConfig};
+//! use backscatter_sim::scenario::ScenarioBuilder;
 //! use buzz::protocol::{BuzzConfig, BuzzProtocol};
 //!
 //! // Eight tags on a cart near the reader, 32-bit messages.
-//! let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 42)).unwrap();
+//! let mut scenario = ScenarioBuilder::paper_uplink(8, 42).build().unwrap();
 //! let outcome = BuzzProtocol::new(BuzzConfig::default())
 //!     .unwrap()
 //!     .run(&mut scenario, 7)

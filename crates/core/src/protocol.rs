@@ -187,13 +187,14 @@ impl BuzzProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     #[test]
     fn full_protocol_delivers_everything_in_good_channels() {
         for &k in &[4usize, 8] {
-            let mut scenario =
-                Scenario::build(ScenarioConfig::paper_uplink(k, 60 + k as u64)).unwrap();
+            let mut scenario = ScenarioBuilder::paper_uplink(k, 60 + k as u64)
+                .build()
+                .unwrap();
             let outcome = BuzzProtocol::new(BuzzConfig::default())
                 .unwrap()
                 .run(&mut scenario, 3)
@@ -210,7 +211,7 @@ mod tests {
 
     #[test]
     fn periodic_mode_skips_identification() {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(6, 71)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(6, 71).build().unwrap();
         let config = BuzzConfig {
             periodic_mode: true,
             ..BuzzConfig::default()
@@ -229,9 +230,10 @@ mod tests {
     #[test]
     fn energy_grows_with_starting_voltage() {
         let run_at = |v: f64| -> f64 {
-            let mut cfg = ScenarioConfig::paper_uplink(8, 81);
-            cfg.starting_voltage_v = v;
-            let mut scenario = Scenario::build(cfg).unwrap();
+            let mut scenario = ScenarioBuilder::paper_uplink(8, 81)
+                .starting_voltage_v(v)
+                .build()
+                .unwrap();
             let config = BuzzConfig {
                 periodic_mode: true,
                 ..BuzzConfig::default()
@@ -247,8 +249,8 @@ mod tests {
 
     #[test]
     fn repeated_runs_at_one_location_vary_only_with_noise() {
-        let mut s1 = Scenario::build(ScenarioConfig::paper_uplink(4, 91)).unwrap();
-        let mut s2 = Scenario::build(ScenarioConfig::paper_uplink(4, 91)).unwrap();
+        let mut s1 = ScenarioBuilder::paper_uplink(4, 91).build().unwrap();
+        let mut s2 = ScenarioBuilder::paper_uplink(4, 91).build().unwrap();
         let protocol = BuzzProtocol::new(BuzzConfig::default()).unwrap();
         let a = protocol.run(&mut s1, 1).unwrap();
         let b = protocol.run(&mut s2, 1).unwrap();

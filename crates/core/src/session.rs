@@ -144,6 +144,20 @@ impl SessionOutcome {
             self.per_tag_energy_j.iter().sum::<f64>() / self.per_tag_energy_j.len() as f64
         }
     }
+
+    /// The combined session metric: messages delivered per second of *total*
+    /// session air time — identification and data folded into one number, so
+    /// a scheme that identifies fast but transfers slowly (or vice versa) is
+    /// comparable to one with the opposite profile.  0 when no air time
+    /// elapsed.
+    #[must_use]
+    pub fn throughput_msgs_per_s(&self) -> f64 {
+        if self.wall_time_ms <= 0.0 {
+            0.0
+        } else {
+            self.delivered_messages as f64 / (self.wall_time_ms / 1e3)
+        }
+    }
 }
 
 impl From<BuzzOutcome> for SessionOutcome {
@@ -240,11 +254,11 @@ impl Protocol for BuzzProtocol {
 mod tests {
     use super::*;
     use crate::protocol::BuzzConfig;
-    use backscatter_sim::scenario::ScenarioConfig;
+    use backscatter_sim::scenario::ScenarioBuilder;
 
     #[test]
     fn buzz_runs_through_the_trait_object() {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(4, 61)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(4, 61).build().unwrap();
         let buzz = BuzzProtocol::new(BuzzConfig::default()).unwrap();
         let protocol: &dyn Protocol = &buzz;
         assert_eq!(protocol.name(), "buzz");
@@ -267,7 +281,7 @@ mod tests {
     fn buzz_conversion_preserves_the_phase_split() {
         // wall time must be ident + data exactly, and the diagnostics carry
         // both addends so harnesses never have to subtract floats.
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(4, 62)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(4, 62).build().unwrap();
         let buzz = BuzzProtocol::new(BuzzConfig::default()).unwrap();
         let raw = BuzzProtocol::run(&buzz, &mut scenario, 1).unwrap();
         let expected_wall = raw.total_time_ms();
@@ -278,6 +292,26 @@ mod tests {
             diag.identification_time_ms.unwrap() + diag.data_time_ms,
             expected_wall
         );
+    }
+
+    #[test]
+    fn combined_throughput_folds_both_phases() {
+        let outcome = SessionOutcome {
+            scheme: "buzz".into(),
+            delivered_messages: 16,
+            lost_messages: 0,
+            wall_time_ms: 8.0,
+            per_tag_energy_j: Vec::new(),
+            slots_used: 40,
+            diagnostics: None,
+        };
+        // 16 messages over 8 ms of identification + data = 2000 msgs/s.
+        assert!((outcome.throughput_msgs_per_s() - 2000.0).abs() < 1e-9);
+        let idle = SessionOutcome {
+            wall_time_ms: 0.0,
+            ..outcome
+        };
+        assert_eq!(idle.throughput_msgs_per_s(), 0.0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use backscatter_prng::NodeSeed;
 use backscatter_sim::medium::Medium;
 use backscatter_sim::tag::SimTag;
 
-use crate::bp::BitFlippingDecoder;
+use crate::bp::{BitFlippingDecoder, DecodeSchedule};
 use crate::identification::DiscoveredTag;
 use crate::rateless::{ParticipationCode, RatelessEncoder};
 use crate::{BuzzError, BuzzResult};
@@ -35,6 +35,12 @@ pub struct TransferConfig {
     pub budget_factor: usize,
     /// Air-interface timing used for transfer-time accounting.
     pub timing: LinkTiming,
+    /// How the reader's decoder schedules its per-position work.  The
+    /// default ([`DecodeSchedule::FullPass`]) is byte-identical to the
+    /// historical decoder; large populations (K ≳ 32) should select
+    /// [`DecodeSchedule::Worklist`], which only revisits perturbed positions
+    /// as slots arrive.
+    pub decode_schedule: DecodeSchedule,
 }
 
 impl Default for TransferConfig {
@@ -43,6 +49,7 @@ impl Default for TransferConfig {
             target_collision_size: ParticipationCode::DEFAULT_TARGET_COLLISION_SIZE,
             budget_factor: 20,
             timing: LinkTiming::paper_default(),
+            decode_schedule: DecodeSchedule::default(),
         }
     }
 }
@@ -204,7 +211,8 @@ impl DataTransfer {
             .collect();
         let mut encoder = RatelessEncoder::new(code, reader_seeds)?;
         let channels: Vec<Complex> = discovered.iter().map(|d| d.channel_estimate).collect();
-        let mut decoder = BitFlippingDecoder::new(channels, framed_bits, medium.noise_power())?;
+        let mut decoder = BitFlippingDecoder::new(channels, framed_bits, medium.noise_power())?
+            .with_schedule(self.config.decode_schedule);
 
         // Data-phase trigger.
         let mut time_s = timing.downlink_s(ReaderCommand::BuzzTrigger.bits()) + timing.t1_s;
@@ -289,16 +297,20 @@ pub fn score_against_truth(
     discovered: &[DiscoveredTag],
     tags: &[SimTag],
 ) -> (usize, usize) {
+    // Index the ground truth once; the old per-column linear scan made
+    // scoring O(K²) at the K = 100+ populations the large-K sweep runs.
+    let truth_by_seed: std::collections::HashMap<NodeSeed, &[bool]> = tags
+        .iter()
+        .map(|t| (t.node_seed, t.message.payload()))
+        .collect();
     let mut correct = 0;
     let mut wrong = 0;
     for (col, decoded) in outcome.decoded_payloads.iter().enumerate() {
-        let temp_id = discovered[col].temporary_id;
-        let truth = tags
-            .iter()
-            .find(|t| t.node_seed == NodeSeed(temp_id))
-            .map(|t| t.message.payload().to_vec());
+        let truth = truth_by_seed
+            .get(&NodeSeed(discovered[col].temporary_id))
+            .copied();
         match (decoded, truth) {
-            (Some(d), Some(t)) if *d == t => correct += 1,
+            (Some(d), Some(t)) if d.as_slice() == t => correct += 1,
             _ => wrong += 1,
         }
     }
@@ -308,12 +320,12 @@ pub fn score_against_truth(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+    use backscatter_sim::scenario::{Scenario, ScenarioBuilder};
 
     /// Builds a scenario, assigns temporary ids directly (bypassing the
     /// identification phase), and returns genie-aided discovered tags.
     fn genie_setup(k: usize, seed: u64) -> (Scenario, Vec<DiscoveredTag>) {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, seed)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(k, seed).build().unwrap();
         let mut discovered = Vec::new();
         for (i, tag) in scenario.tags_mut().iter_mut().enumerate() {
             let temp_id = 1000 + i as u64;
@@ -391,7 +403,7 @@ mod tests {
     fn adapts_below_one_bit_per_symbol_in_bad_channels_without_losing_messages() {
         // The Fig. 12 claim: in challenging conditions Buzz takes more slots
         // (rate < 1 bit/symbol) but still decodes everything.
-        let mut scenario = Scenario::build(ScenarioConfig::challenging(4, 3, 7.0)).unwrap();
+        let mut scenario = ScenarioBuilder::challenging(4, 3, 7.0).build().unwrap();
         let mut discovered = Vec::new();
         for (i, tag) in scenario.tags_mut().iter_mut().enumerate() {
             let temp_id = 2000 + i as u64;

@@ -277,6 +277,86 @@ impl ScenarioDynamics for HeterogeneousTagPower {
     }
 }
 
+/// Tags arriving and departing mid-session: shoppers lifting items off a
+/// shelf, cartons moving in and out of a reader's field.
+///
+/// Each tag cycles through its own presence schedule: per cycle of
+/// `period_slots` it is *away* for `away_fraction` of the cycle, with a
+/// per-tag phase (drawn once per run from the dynamics stream seed) so
+/// departures desynchronize across the population.  While away, the tag's
+/// channel coefficient is zeroed — its transmissions simply never reach the
+/// reader, which is how an absent backscatter tag actually behaves (no
+/// carrier power to reflect).  For Buzz this looks like participation slots
+/// that arrive empty of the departed tag's signal; fixed-schedule protocols
+/// lose the polls that land inside an absence window.
+#[derive(Debug, Clone, Copy)]
+pub struct TagChurn {
+    /// Presence cycle length in slots.
+    pub period_slots: u64,
+    /// Fraction of each cycle a tag spends away, in `[0, 1)`.
+    pub away_fraction: f64,
+}
+
+impl TagChurn {
+    /// A retail-shelf default: each tag is away for a quarter of a 64-slot
+    /// cycle.
+    #[must_use]
+    pub fn retail_shelf() -> Self {
+        Self {
+            period_slots: 64,
+            away_fraction: 0.25,
+        }
+    }
+
+    /// Creates a churn dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a zero period or an away
+    /// fraction outside `[0, 1)`.
+    pub fn new(period_slots: u64, away_fraction: f64) -> SimResult<Self> {
+        if period_slots == 0 {
+            return Err(SimError::InvalidParameter("churn period must be non-zero"));
+        }
+        if !(0.0..1.0).contains(&away_fraction) {
+            return Err(SimError::InvalidParameter(
+                "away fraction must be in [0, 1)",
+            ));
+        }
+        Ok(Self {
+            period_slots,
+            away_fraction,
+        })
+    }
+
+    /// Whether `tag` is away (departed) during `slot` for the given stream
+    /// seed.  Pure function of its arguments, so every protocol sees the
+    /// same arrival/departure schedule for a given run.
+    #[must_use]
+    pub fn is_away(&self, stream_seed: u64, tag: usize, slot: u64) -> bool {
+        let away_slots = (self.period_slots as f64 * self.away_fraction) as u64;
+        if away_slots == 0 {
+            return false;
+        }
+        let phase = tag_stream(stream_seed, tag).next_bounded(self.period_slots);
+        (slot + phase) % self.period_slots < away_slots
+    }
+}
+
+impl ScenarioDynamics for TagChurn {
+    fn name(&self) -> &'static str {
+        "tag-churn"
+    }
+
+    fn apply(&self, view: &mut SlotView<'_>) {
+        for (tag, channel) in view.channels.iter_mut().enumerate() {
+            if self.is_away(view.stream_seed, tag, view.slot) {
+                channel.coefficient = Complex::ZERO;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +461,60 @@ mod tests {
             }
         }
         assert!(attenuated >= 1);
+    }
+
+    #[test]
+    fn tag_churn_validates_and_hits_its_duty_cycle() {
+        assert!(TagChurn::new(0, 0.2).is_err());
+        assert!(TagChurn::new(8, 1.0).is_err());
+        assert!(TagChurn::new(8, -0.1).is_err());
+        let churn = TagChurn::new(32, 0.25).unwrap();
+        let total = 32_000u64;
+        for tag in 0..3 {
+            let away = (0..total)
+                .filter(|&slot| churn.is_away(9, tag, slot))
+                .count();
+            let duty = away as f64 / total as f64;
+            assert!((duty - 0.25).abs() < 0.02, "tag {tag}: duty = {duty}");
+        }
+        // Zero away time is a strict no-op.
+        let none = TagChurn::new(32, 0.0).unwrap();
+        assert!((0..256).all(|slot| !none.is_away(9, 0, slot)));
+    }
+
+    #[test]
+    fn tag_churn_zeros_departed_channels_and_is_deterministic() {
+        let churn = TagChurn::new(4, 0.5).unwrap();
+        let mut saw_away = false;
+        let mut saw_present = false;
+        for slot in 0..32 {
+            let (a, scale_a) = apply_once(&churn, slot, 7);
+            let (b, _) = apply_once(&churn, slot, 7);
+            assert_eq!(a, b, "churn must be a pure function of the slot");
+            assert_eq!(scale_a, 1.0, "churn does not touch the noise");
+            for (tag, (got, base)) in a.iter().zip(base_channels()).enumerate() {
+                if churn.is_away(7, tag, slot) {
+                    assert_eq!(got.coefficient, Complex::ZERO);
+                    saw_away = true;
+                } else {
+                    assert_eq!(got.coefficient, base.coefficient);
+                    saw_present = true;
+                }
+            }
+        }
+        assert!(saw_away && saw_present);
+    }
+
+    #[test]
+    fn tag_churn_departures_are_desynchronized() {
+        // Per-tag phases must prevent the whole population from vanishing in
+        // lockstep (at 25 % away, some tag should be present in every slot
+        // of a long window for a handful of tags).
+        let churn = TagChurn::new(64, 0.25).unwrap();
+        for slot in 0..512u64 {
+            let all_away = (0..8).all(|tag| churn.is_away(3, tag, slot));
+            assert!(!all_away, "every tag away at slot {slot}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the simulator's analogue of the paper running the three schemes
 //! back-to-back without moving the tags.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use backscatter_codes::message::Message;
@@ -51,6 +52,9 @@ pub struct ScenarioConfig {
 impl ScenarioConfig {
     /// The paper's default uplink experiment: `K` tags, 32-bit messages, cart
     /// close to the reader (good channels).
+    #[deprecated(
+        note = "use `ScenarioBuilder::paper_uplink(k, seed)` (or `Scenario::builder(k).seed(seed)`); the builder preset is pinned bit-identical to this constructor"
+    )]
     #[must_use]
     pub fn paper_uplink(k: usize, seed: u64) -> Self {
         Self {
@@ -67,8 +71,12 @@ impl ScenarioConfig {
 
     /// A challenging-channel variant of the uplink experiment (the Fig. 12
     /// regime): same tags, but the target median SNR is lowered.
+    #[deprecated(
+        note = "use `ScenarioBuilder::challenging(k, seed, median_snr_db)`; the builder preset is pinned bit-identical to this constructor"
+    )]
     #[must_use]
     pub fn challenging(k: usize, seed: u64, median_snr_db: f64) -> Self {
+        #[allow(deprecated)]
         Self {
             median_snr_db: Some(median_snr_db),
             cart_distance_m: 0.9,
@@ -164,18 +172,20 @@ impl ScenarioBuilder {
         Self::paper_uplink(k, 0)
     }
 
-    /// Preset matching [`ScenarioConfig::paper_uplink`].
+    /// Preset matching the legacy `ScenarioConfig::paper_uplink`.
     #[must_use]
     pub fn paper_uplink(k: usize, seed: u64) -> Self {
+        #[allow(deprecated)]
         Self {
             config: ScenarioConfig::paper_uplink(k, seed),
             dynamics: Vec::new(),
         }
     }
 
-    /// Preset matching [`ScenarioConfig::challenging`].
+    /// Preset matching the legacy `ScenarioConfig::challenging`.
     #[must_use]
     pub fn challenging(k: usize, seed: u64, median_snr_db: f64) -> Self {
+        #[allow(deprecated)]
         Self {
             config: ScenarioConfig::challenging(k, seed, median_snr_db),
             dynamics: Vec::new(),
@@ -332,7 +342,10 @@ impl Scenario {
         };
 
         let jitter = SyncJitter::moo();
-        let mut global_ids = Vec::with_capacity(config.k);
+        // Distinctness check via a set: the rejection loop draws the same
+        // sequence as the old linear scan, but K = 100+ populations no
+        // longer pay O(K²) membership tests during construction.
+        let mut global_ids: HashSet<u64> = HashSet::with_capacity(config.k);
         let mut tags = Vec::with_capacity(config.k);
         for (i, channel) in channels.iter().enumerate() {
             // Draw a distinct global id for each tag.
@@ -340,7 +353,7 @@ impl Scenario {
             while global_ids.contains(&gid) {
                 gid = rng.next_bounded(config.global_id_space);
             }
-            global_ids.push(gid);
+            global_ids.insert(gid);
 
             let message = Message::random(SplitMix64::mix(config.seed, gid), config.message_bits)?;
             tags.push(SimTag {
@@ -461,6 +474,10 @@ impl Scenario {
 
 #[cfg(test)]
 mod tests {
+    // The legacy constructors stay under test (the builder presets are pinned
+    // bit-identical to them) even though new code must not call them.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]

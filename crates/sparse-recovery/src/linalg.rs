@@ -217,6 +217,137 @@ pub fn solve_least_squares(a: &ComplexMatrix, y: &[Complex]) -> RecoveryResult<V
     solve_square(&gram, &rhs)
 }
 
+/// An incrementally grown Cholesky factorization `G = L·Lᵀ` of a real
+/// symmetric positive-definite Gram matrix, solved against complex
+/// right-hand sides.
+///
+/// This is the large-population refit engine: OMP over a binary sensing
+/// matrix has a *real* Gram (entries are shared-row counts), so growing the
+/// support by one column costs one forward substitution (`O(s²)`) instead of
+/// rebuilding and re-eliminating the whole normal system (`O(m·s² + s³)`),
+/// and each refit is two triangular solves.  Small problems keep using
+/// [`solve_least_squares`] — the historical direct path — bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct GrowingCholesky {
+    /// Lower-triangular factor; row `i` stores `L[i][0..=i]`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl GrowingCholesky {
+    /// An empty factorization (size 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current size `s` of the factored Gram.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no columns have been absorbed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Grows the factorization by one column of the Gram: `cross[j]` is the
+    /// inner product of the new column with existing column `j`, and `diag`
+    /// its squared norm (plus any ridge).  Returns `false` — leaving the
+    /// factorization unchanged — when the new column is numerically
+    /// dependent on the existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] unless `cross` has one
+    /// entry per existing column.
+    pub fn push(&mut self, cross: &[f64], diag: f64) -> RecoveryResult<bool> {
+        let n = self.rows.len();
+        if cross.len() != n {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: n,
+                actual: cross.len(),
+            });
+        }
+        let mut w = vec![0.0f64; n + 1];
+        for i in 0..n {
+            let mut acc = cross[i];
+            for j in 0..i {
+                acc -= self.rows[i][j] * w[j];
+            }
+            w[i] = acc / self.rows[i][i];
+        }
+        let d2 = diag - w[..n].iter().map(|v| v * v).sum::<f64>();
+        // NaN (from a degenerate diagonal) must also report "dependent".
+        let independent = d2 > diag.abs() * 1e-12;
+        if !independent {
+            return Ok(false);
+        }
+        w[n] = d2.sqrt();
+        self.rows.push(w);
+        Ok(true)
+    }
+
+    /// Solves `G·x = b` for a complex right-hand side via two triangular
+    /// solves (the factor is real, so real and imaginary parts share it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] unless `b` matches the
+    /// factored size.
+    pub fn solve(&self, b: &[Complex]) -> RecoveryResult<Vec<Complex>> {
+        let n = self.rows.len();
+        if b.len() != n {
+            return Err(RecoveryError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Forward: L·z = b.
+        let mut z = b.to_vec();
+        for i in 0..n {
+            let mut acc = z[i];
+            for j in 0..i {
+                acc -= z[j] * self.rows[i][j];
+            }
+            z[i] = acc * (1.0 / self.rows[i][i]);
+        }
+        // Backward: Lᵀ·x = z.
+        let mut x = z;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= x[j] * self.rows[j][i];
+            }
+            x[i] = acc * (1.0 / self.rows[i][i]);
+        }
+        Ok(x)
+    }
+
+    /// The diagonal of `G⁻¹`, one entry per column — the quantity behind the
+    /// exact leave-one-out residual test (`ΔE_j = |v_j|² / (G⁻¹)_{jj}`).
+    #[must_use]
+    pub fn inverse_diagonal(&self) -> Vec<f64> {
+        let n = self.rows.len();
+        // (G⁻¹)_{jj} = ‖L⁻¹ e_j‖²: one forward solve per unit vector.
+        let mut out = vec![0.0f64; n];
+        let mut z = vec![0.0f64; n];
+        for col in 0..n {
+            z[..col].fill(0.0);
+            for i in col..n {
+                let mut acc = if i == col { 1.0 } else { 0.0 };
+                for j in col..i {
+                    acc -= self.rows[i][j] * z[j];
+                }
+                z[i] = acc / self.rows[i][i];
+            }
+            out[col] = z[col..].iter().map(|v| v * v).sum();
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +445,69 @@ mod tests {
             assert!((*got - *want).abs() < 1e-6);
         }
         assert!(solve_least_squares(&a, &[Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn growing_cholesky_matches_direct_least_squares() {
+        // Binary design matrix, complex rhs: the incrementally grown factor
+        // must reproduce the direct normal-equation solve at every size.
+        let rows = 12usize;
+        let cols = [
+            vec![0usize, 2, 3, 7, 9],
+            vec![1, 2, 4, 8, 11],
+            vec![0, 1, 5, 6, 10],
+            vec![3, 4, 5, 9, 10, 11],
+        ];
+        let y: Vec<Complex> = (0..rows)
+            .map(|r| c(0.3 * r as f64 - 1.0, 0.1 * (r * r % 7) as f64))
+            .collect();
+        let mut chol = GrowingCholesky::new();
+        assert!(chol.is_empty());
+        let mut rhs: Vec<Complex> = Vec::new();
+        for s in 0..cols.len() {
+            // Cross inner products with already-absorbed columns.
+            let cross: Vec<f64> = (0..s)
+                .map(|j| cols[s].iter().filter(|r| cols[j].contains(r)).count() as f64)
+                .collect();
+            assert!(chol.push(&cross, cols[s].len() as f64 + 1e-12).unwrap());
+            rhs.push(cols[s].iter().map(|&r| y[r]).sum());
+            let x = chol.solve(&rhs).unwrap();
+
+            // Direct reference over the same support.
+            let mut a = ComplexMatrix::zeros(rows, s + 1);
+            for (j, col) in cols.iter().take(s + 1).enumerate() {
+                for &r in col {
+                    a.set(r, j, Complex::ONE);
+                }
+            }
+            let reference = solve_least_squares(&a, &y).unwrap();
+            for (got, want) in x.iter().zip(&reference) {
+                assert!((*got - *want).abs() < 1e-8, "size {}", s + 1);
+            }
+        }
+        assert_eq!(chol.len(), cols.len());
+    }
+
+    #[test]
+    fn growing_cholesky_rejects_dependent_columns_and_checks_dims() {
+        let mut chol = GrowingCholesky::new();
+        assert!(chol.push(&[], 2.0).unwrap());
+        // A duplicate of the first column: cross = diag = 2 ⇒ dependent.
+        assert!(!chol.push(&[2.0], 2.0).unwrap());
+        assert_eq!(chol.len(), 1);
+        assert!(chol.push(&[2.0, 0.0], 2.0).is_err());
+        assert!(chol.solve(&[Complex::ONE, Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn inverse_diagonal_matches_explicit_inverse() {
+        // G = [[2, 1], [1, 3]] ⇒ G⁻¹ = 1/5·[[3, −1], [−1, 2]].
+        let mut chol = GrowingCholesky::new();
+        assert!(chol.push(&[], 2.0).unwrap());
+        assert!(chol.push(&[1.0], 3.0).unwrap());
+        let diag = chol.inverse_diagonal();
+        assert!((diag[0] - 3.0 / 5.0).abs() < 1e-12);
+        assert!((diag[1] - 2.0 / 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use backscatter_baselines::cdma::{CdmaConfig, CdmaTransfer};
 use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         for trial in 0..trials {
             let seed = 500 + i as u64 * 10 + trial;
-            let mut scenario = Scenario::build(ScenarioConfig::challenging(4, seed, snr_db))?;
+            let mut scenario = ScenarioBuilder::challenging(4, seed, snr_db).build()?;
 
             // Buzz in periodic mode: isolates the data-phase rate adaptation,
             // like §9's uplink experiments which assume identification is done.

@@ -9,7 +9,7 @@
 
 use backscatter_codes::message::Message;
 use backscatter_codes::{bits_to_u64, u64_to_bits};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 
 /// Encodes a temperature in tenths of a degree Celsius into a 32-bit payload:
@@ -27,7 +27,7 @@ fn decode_reading(payload: &[bool]) -> Option<(u16, u16)> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Twelve sensors spread across a rack row.
-    let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(12, 404))?;
+    let mut scenario = ScenarioBuilder::paper_uplink(12, 404).build()?;
     let config = BuzzConfig {
         periodic_mode: true, // static schedule: no identification phase
         ..BuzzConfig::default()

@@ -8,14 +8,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Eight tags with data, 32-bit messages, good channels (the paper's §9
     // uplink setup).  The seed pins the "location": channels, placements and
     // messages are all derived from it.
-    let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(8, 2012))?;
+    let mut scenario = ScenarioBuilder::paper_uplink(8, 2012).build()?;
     println!("== scenario ==");
     println!("tags with data     : {}", scenario.tags().len());
     let (lo, hi) = scenario.snr_range_db()?;

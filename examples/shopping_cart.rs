@@ -12,14 +12,14 @@
 
 use backscatter_baselines::identification::fsa_identification;
 use backscatter_baselines::tdma::{TdmaConfig, TdmaTransfer};
-use backscatter_sim::scenario::{Scenario, ScenarioConfig};
+use backscatter_sim::scenario::ScenarioBuilder;
 use buzz::protocol::{BuzzConfig, BuzzProtocol};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 20 items in the cart out of a store inventory of one million ids.
-    let mut config = ScenarioConfig::paper_uplink(20, 77);
-    config.global_id_space = 1_000_000;
-    let mut scenario = Scenario::build(config)?;
+    let mut scenario = ScenarioBuilder::paper_uplink(20, 77)
+        .global_id_space(1_000_000)
+        .build()?;
 
     println!("cart contents: 20 items out of a 1000000-item store");
     println!(

@@ -1,0 +1,85 @@
+//! Tag churn: tags arriving and departing mid-session.
+//!
+//! Attaches the `TagChurn` dynamics (each tag follows its own
+//! presence/absence cycle; a departed tag's channel is zero — nothing to
+//! reflect) and drives Buzz and TDMA through the unified
+//! `&[&dyn Protocol]` session API over increasing churn levels.  Buzz's
+//! rateless code rides out short absences — a tag that missed its
+//! participation slots simply keeps transmitting when it returns and the
+//! decoder collects more collisions — while a fixed polling schedule
+//! permanently loses the polls that land inside an absence window.
+//!
+//! Run with: `cargo run --release --example tag_churn`
+
+use backscatter_baselines::session::TdmaProtocol;
+use backscatter_sim::dynamics::TagChurn;
+use backscatter_sim::scenario::Scenario;
+use buzz::protocol::{BuzzConfig, BuzzProtocol};
+use buzz::session::{Protocol, SessionOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let buzz = BuzzProtocol::new(BuzzConfig {
+        periodic_mode: true,
+        ..BuzzConfig::default()
+    })?;
+    let tdma = TdmaProtocol::paper_default()?;
+    let panel: [&dyn Protocol; 2] = [&buzz, &tdma];
+
+    let churn_levels: [(&str, f64); 3] = [
+        ("static shelf", 0.0),
+        ("light churn", 0.25),
+        ("heavy churn", 0.50),
+    ];
+    let trials = 3u64;
+    let k = 6usize;
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "churn", "scheme", "delivered", "loss %", "ms", "msgs/s"
+    );
+    println!("{}", "-".repeat(70));
+
+    for (label, away_fraction) in churn_levels {
+        let mut sums: Vec<(f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0); panel.len()];
+        for trial in 0..trials {
+            let mut scenario = Scenario::builder(k)
+                .seed(6000 + trial)
+                .dynamics(TagChurn::new(16, away_fraction)?)
+                .build()?;
+            let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(panel.len());
+            for protocol in panel {
+                let outcome = protocol.run_after(&mut scenario, trial, &outcomes)?;
+                outcomes.push(outcome);
+            }
+            for (sum, outcome) in sums.iter_mut().zip(&outcomes) {
+                sum.0 += outcome.delivered_messages as f64;
+                sum.1 += outcome.loss_rate();
+                sum.2 += outcome.wall_time_ms;
+                sum.3 += outcome.throughput_msgs_per_s();
+            }
+        }
+        let n = trials as f64;
+        for (protocol, sum) in panel.iter().zip(&sums) {
+            println!(
+                "{:<14} {:>8} {:>9.1}/{:<2} {:>10.0} {:>10.2} {:>10.0}",
+                label,
+                protocol.name(),
+                sum.0 / n,
+                k,
+                sum.1 / n * 100.0,
+                sum.2 / n,
+                sum.3 / n
+            );
+        }
+        println!("{}", "-".repeat(70));
+    }
+
+    println!(
+        "Departed tags reflect nothing: Buzz spends extra collision slots\n\
+         and keeps delivering, while TDMA's per-tag polls that land inside\n\
+         an absence window are simply lost. Slot clocks are protocol-local\n\
+         (collision slots for Buzz, polling rounds for TDMA), so the same\n\
+         away-fraction covers different wall-clock spans per scheme."
+    );
+    Ok(())
+}

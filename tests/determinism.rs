@@ -9,12 +9,12 @@ use buzz_suite::codes::SparseBinaryMatrix;
 use buzz_suite::prng::{NodeSeed, Rng64, SplitMix64, Xoshiro256};
 use buzz_suite::protocol::protocol::{BuzzConfig, BuzzProtocol};
 use buzz_suite::protocol::rateless::ParticipationCode;
-use buzz_suite::sim::scenario::{Scenario, ScenarioConfig};
+use buzz_suite::sim::scenario::ScenarioBuilder;
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
     let run = || {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(6, 314)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(6, 314).build().unwrap();
         BuzzProtocol::new(BuzzConfig::default())
             .unwrap()
             .run(&mut scenario, 159)
@@ -34,8 +34,8 @@ fn identical_seeds_reproduce_identical_runs() {
 
 #[test]
 fn different_noise_seeds_only_change_the_noise() {
-    let mut s1 = Scenario::build(ScenarioConfig::paper_uplink(6, 2718)).unwrap();
-    let mut s2 = Scenario::build(ScenarioConfig::paper_uplink(6, 2718)).unwrap();
+    let mut s1 = ScenarioBuilder::paper_uplink(6, 2718).build().unwrap();
+    let mut s2 = ScenarioBuilder::paper_uplink(6, 2718).build().unwrap();
     // Channels, placements and messages are identical across the two builds.
     for (a, b) in s1.tags().iter().zip(s2.tags()) {
         assert_eq!(a.channel, b.channel);

@@ -5,7 +5,7 @@ use buzz_suite::baselines::cdma::{CdmaConfig, CdmaTransfer};
 use buzz_suite::baselines::identification::{fsa_identification, fsa_with_known_k};
 use buzz_suite::baselines::tdma::{TdmaConfig, TdmaTransfer};
 use buzz_suite::protocol::protocol::{BuzzConfig, BuzzProtocol};
-use buzz_suite::sim::scenario::{Scenario, ScenarioConfig};
+use buzz_suite::sim::scenario::ScenarioBuilder;
 
 /// The headline end-to-end property: in ordinary channel conditions Buzz
 /// identifies every tag and delivers every message, at an aggregate rate above
@@ -13,8 +13,9 @@ use buzz_suite::sim::scenario::{Scenario, ScenarioConfig};
 #[test]
 fn buzz_end_to_end_is_lossless_and_faster_than_one_bit_per_symbol() {
     for &k in &[4usize, 8, 12] {
-        let mut scenario =
-            Scenario::build(ScenarioConfig::paper_uplink(k, 9_000 + k as u64)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(k, 9_000 + k as u64)
+            .build()
+            .unwrap();
         let outcome = BuzzProtocol::new(BuzzConfig::default())
             .unwrap()
             .run(&mut scenario, 5)
@@ -39,7 +40,9 @@ fn buzz_transfer_time_beats_tdma_and_cdma() {
     let mut tdma_total = 0.0;
     let mut cdma_total = 0.0;
     for trial in 0..trials {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 7_100 + trial)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(k, 7_100 + trial)
+            .build()
+            .unwrap();
         let buzz = BuzzProtocol::new(BuzzConfig {
             periodic_mode: true,
             ..BuzzConfig::default()
@@ -80,7 +83,9 @@ fn buzz_identification_beats_fsa() {
     let mut fsa_total = 0.0;
     let mut fsa_k_total = 0.0;
     for trial in 0..trials {
-        let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 8_200 + trial)).unwrap();
+        let mut scenario = ScenarioBuilder::paper_uplink(k, 8_200 + trial)
+            .build()
+            .unwrap();
         let outcome = BuzzProtocol::new(BuzzConfig::default())
             .unwrap()
             .run(&mut scenario, trial)
@@ -112,8 +117,9 @@ fn buzz_stays_reliable_where_baselines_fail() {
     let mut baseline_lost = 0usize;
     let mut buzz_rate = 0.0;
     for trial in 0..trials {
-        let mut scenario =
-            Scenario::build(ScenarioConfig::challenging(4, 6_300 + trial, 5.0)).unwrap();
+        let mut scenario = ScenarioBuilder::challenging(4, 6_300 + trial, 5.0)
+            .build()
+            .unwrap();
         let buzz = BuzzProtocol::new(BuzzConfig {
             periodic_mode: true,
             ..BuzzConfig::default()
@@ -151,7 +157,7 @@ fn buzz_stays_reliable_where_baselines_fail() {
 #[test]
 fn all_baselines_complete_on_shared_seeds() {
     for seed in [1u64, 2, 3] {
-        let scenario = Scenario::build(ScenarioConfig::paper_uplink(4, seed)).unwrap();
+        let scenario = ScenarioBuilder::paper_uplink(4, seed).build().unwrap();
 
         let tdma = TdmaTransfer::new(TdmaConfig::default()).unwrap();
         let mut medium = scenario.medium(seed).unwrap();
@@ -180,7 +186,7 @@ fn buzz_energy_is_comparable_to_tdma_and_below_cdma() {
     use buzz_suite::sim::energy::{EnergyModel, TransmissionProfile};
     let k = 8;
     let model = EnergyModel::moo();
-    let mut scenario = Scenario::build(ScenarioConfig::paper_uplink(k, 4_400)).unwrap();
+    let mut scenario = ScenarioBuilder::paper_uplink(k, 4_400).build().unwrap();
 
     let buzz = BuzzProtocol::new(BuzzConfig {
         periodic_mode: true,

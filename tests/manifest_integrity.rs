@@ -8,11 +8,11 @@
 //! keep exercising every member crate, so the member list is asserted here.
 
 use buzz_suite::protocol::protocol::{BuzzConfig, BuzzOutcome, BuzzProtocol};
-use buzz_suite::sim::scenario::{Scenario, ScenarioConfig};
+use buzz_suite::sim::scenario::ScenarioBuilder;
 
 /// Builds a fresh scenario and runs the full protocol from scratch.
-fn fresh_run(config: ScenarioConfig, buzz: BuzzConfig, noise_seed: u64) -> BuzzOutcome {
-    let mut scenario = Scenario::build(config).expect("scenario builds");
+fn fresh_run(builder: ScenarioBuilder, buzz: BuzzConfig, noise_seed: u64) -> BuzzOutcome {
+    let mut scenario = builder.build().expect("scenario builds");
     BuzzProtocol::new(buzz)
         .expect("valid protocol config")
         .run(&mut scenario, noise_seed)
@@ -22,8 +22,8 @@ fn fresh_run(config: ScenarioConfig, buzz: BuzzConfig, noise_seed: u64) -> BuzzO
 #[test]
 fn identical_config_and_seed_pairs_yield_bit_identical_outcomes() {
     for (k, scenario_seed, noise_seed) in [(4usize, 7u64, 1u64), (6, 314, 159), (5, 2026, 42)] {
-        let config = ScenarioConfig::paper_uplink(k, scenario_seed);
-        let a = fresh_run(config, BuzzConfig::default(), noise_seed);
+        let config = ScenarioBuilder::paper_uplink(k, scenario_seed);
+        let a = fresh_run(config.clone(), BuzzConfig::default(), noise_seed);
         let b = fresh_run(config, BuzzConfig::default(), noise_seed);
         // `BuzzOutcome: PartialEq` compares every field, floats included.
         assert_eq!(
@@ -35,12 +35,12 @@ fn identical_config_and_seed_pairs_yield_bit_identical_outcomes() {
 
 #[test]
 fn periodic_mode_is_equally_deterministic() {
-    let config = ScenarioConfig::paper_uplink(6, 99);
+    let config = ScenarioBuilder::paper_uplink(6, 99);
     let buzz = BuzzConfig {
         periodic_mode: true,
         ..BuzzConfig::default()
     };
-    let a = fresh_run(config, buzz, 11);
+    let a = fresh_run(config.clone(), buzz, 11);
     let b = fresh_run(config, buzz, 11);
     assert_eq!(a, b);
 }
@@ -49,8 +49,16 @@ fn periodic_mode_is_equally_deterministic() {
 fn different_seeds_actually_differ() {
     // A determinism test that would also pass on a constant function proves
     // nothing; two different scenario seeds must produce different outcomes.
-    let a = fresh_run(ScenarioConfig::paper_uplink(4, 1), BuzzConfig::default(), 1);
-    let b = fresh_run(ScenarioConfig::paper_uplink(4, 2), BuzzConfig::default(), 1);
+    let a = fresh_run(
+        ScenarioBuilder::paper_uplink(4, 1),
+        BuzzConfig::default(),
+        1,
+    );
+    let b = fresh_run(
+        ScenarioBuilder::paper_uplink(4, 2),
+        BuzzConfig::default(),
+        1,
+    );
     assert_ne!(a.per_tag_energy_j, b.per_tag_energy_j);
 }
 

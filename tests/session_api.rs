@@ -16,11 +16,11 @@ use buzz_suite::baselines::session::{
 use buzz_suite::protocol::protocol::{BuzzConfig, BuzzProtocol};
 use buzz_suite::protocol::session::{Protocol, SessionOutcome};
 use buzz_suite::sim::dynamics::{BurstyInterference, HeterogeneousTagPower, Mobility};
-use buzz_suite::sim::scenario::{Placement, Scenario, ScenarioBuilder, ScenarioConfig, SnrProfile};
+use buzz_suite::sim::scenario::{Placement, Scenario, ScenarioBuilder, SnrProfile};
 
 /// Runs the full four-scheme panel (plus FSA+K̂) over a fresh scenario built
-/// from `config`, returning every outcome in panel order.
-fn run_panel(config: ScenarioConfig, seed: u64) -> Vec<SessionOutcome> {
+/// from `builder`, returning every outcome in panel order.
+fn run_panel(builder: ScenarioBuilder, seed: u64) -> Vec<SessionOutcome> {
     let buzz = BuzzProtocol::new(BuzzConfig::default()).unwrap();
     let tdma = TdmaProtocol::paper_default().unwrap();
     let cdma = CdmaProtocol::paper_default().unwrap();
@@ -28,7 +28,7 @@ fn run_panel(config: ScenarioConfig, seed: u64) -> Vec<SessionOutcome> {
     let fsa_k = FsaWithEstimatedK;
     let panel: [&dyn Protocol; 5] = [&buzz, &tdma, &cdma, &fsa, &fsa_k];
 
-    let mut scenario = Scenario::build(config).unwrap();
+    let mut scenario = builder.build().unwrap();
     let mut outcomes = Vec::with_capacity(panel.len());
     for protocol in panel {
         let outcome = protocol.run_after(&mut scenario, seed, &outcomes).unwrap();
@@ -40,9 +40,9 @@ fn run_panel(config: ScenarioConfig, seed: u64) -> Vec<SessionOutcome> {
 
 #[test]
 fn same_config_and_seed_is_bit_identical_for_every_protocol() {
-    let config = ScenarioConfig::paper_uplink(6, 2024);
-    let first = run_panel(config, 5);
-    let second = run_panel(config, 5);
+    let config = ScenarioBuilder::paper_uplink(6, 2024);
+    let first = run_panel(config.clone(), 5);
+    let second = run_panel(config.clone(), 5);
     // SessionOutcome's PartialEq compares every field, floats exactly.
     assert_eq!(first, second);
 
@@ -54,7 +54,7 @@ fn same_config_and_seed_is_bit_identical_for_every_protocol() {
 
 #[test]
 fn every_scheme_reports_through_the_common_shape() {
-    let outcomes = run_panel(ScenarioConfig::paper_uplink(5, 77), 1);
+    let outcomes = run_panel(ScenarioBuilder::paper_uplink(5, 77), 1);
     for outcome in &outcomes {
         assert_eq!(outcome.total_messages(), 5, "{}", outcome.scheme);
         assert!(outcome.wall_time_ms > 0.0, "{}", outcome.scheme);
@@ -66,8 +66,13 @@ fn every_scheme_reports_through_the_common_shape() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn builder_presets_pin_to_legacy_constructors() {
-    // paper_uplink: identical tag draws and noise floor.
+    use buzz_suite::sim::scenario::ScenarioConfig;
+
+    // paper_uplink: identical tag draws and noise floor.  The deprecated
+    // constructor is called on purpose — this test is the cross-crate pin
+    // that the builder preset reproduces it bit for bit.
     let legacy = Scenario::build(ScenarioConfig::paper_uplink(8, 9)).unwrap();
     let built = ScenarioBuilder::paper_uplink(8, 9).build().unwrap();
     assert_eq!(legacy.noise_power(), built.noise_power());
