@@ -1,0 +1,330 @@
+//! `perf_gate` — the CI performance-regression gate.
+//!
+//! Compares a bench run's output (the criterion shim's
+//! `bench <suite>/<id>: N iters, mean X ms/iter` lines) against a
+//! checked-in `*.baseline.json`, failing when any shared entry regressed by
+//! more than the allowed factor.  Usage:
+//!
+//! ```text
+//! cargo bench -p backscatter_bench --bench decoders_large_k | tee bench.out
+//! cargo run --release -p backscatter_bench --bin perf_gate -- \
+//!     --baseline crates/bench/benches/decoders_large_k.baseline.json \
+//!     --bench-output bench.out [--factor 1.5] [--summary summary.md]
+//! ```
+//!
+//! The gate prints a markdown table (and appends it to `--summary` when
+//! given — CI passes `$GITHUB_STEP_SUMMARY`), then exits non-zero if any
+//! entry regressed.  Entries present on only one side are reported but do
+//! not fail the gate *unless* a baseline entry is missing from the bench
+//! output entirely (a silently dropped benchmark would otherwise disarm
+//! the gate for good).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// One measured or recorded entry: id → mean milliseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Benchmark id, e.g. `decoders_large_k/session_worklist/100`.
+    pub id: String,
+    /// Mean wall-clock milliseconds per iteration.
+    pub mean_ms: f64,
+}
+
+/// Extracts the entries of a `*.baseline.json` file.
+///
+/// The baselines are written by hand in a fixed shape (see
+/// `crates/bench/benches/*.baseline.json`); this is a purpose-built scan
+/// for that shape — `"id"` and `"mean_ms_per_iter"` key/value pairs inside
+/// the `results` array — not a general JSON parser (the workspace has no
+/// serde offline).
+fn parse_baseline(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\"") else {
+            continue;
+        };
+        let Some(mean_at) = line.find("\"mean_ms_per_iter\"") else {
+            continue;
+        };
+        let id = line[id_at + 4..]
+            .split('"')
+            .nth(1)
+            .unwrap_or_default()
+            .to_string();
+        let mean = line[mean_at + 18..]
+            .trim_start_matches([':', ' '])
+            .trim_end_matches(['}', ',', ' '])
+            .trim()
+            .parse::<f64>();
+        if let (false, Ok(mean_ms)) = (id.is_empty(), mean) {
+            entries.push(Entry { id, mean_ms });
+        }
+    }
+    entries
+}
+
+/// Extracts the entries of a bench run's stdout (the criterion shim's
+/// report lines: `bench <id>: <n> iters, mean <x> ms/iter`).
+fn parse_bench_output(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("bench ") else {
+            continue;
+        };
+        let Some((id, tail)) = rest.split_once(": ") else {
+            continue;
+        };
+        let Some(mean_part) = tail.split("mean ").nth(1) else {
+            continue;
+        };
+        let Some(value) = mean_part.split_whitespace().next() else {
+            continue;
+        };
+        if let Ok(mean_ms) = value.parse::<f64>() {
+            entries.push(Entry {
+                id: id.to_string(),
+                mean_ms,
+            });
+        }
+    }
+    entries
+}
+
+/// The verdict for one baseline entry.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    /// Within the allowed factor of the baseline.
+    Ok(f64),
+    /// Slower than `factor ×` baseline.
+    Regressed(f64),
+    /// Present in the baseline but absent from the bench output.
+    Missing,
+}
+
+/// Gates `measured` against `baseline`: per baseline entry, the measured
+/// mean must stay under `factor ×` the recorded mean.
+fn gate(baseline: &[Entry], measured: &[Entry], factor: f64) -> Vec<(String, f64, Verdict)> {
+    baseline
+        .iter()
+        .map(|b| {
+            let verdict = match measured.iter().find(|m| m.id == b.id) {
+                None => Verdict::Missing,
+                Some(m) => {
+                    let ratio = m.mean_ms / b.mean_ms.max(1e-12);
+                    if ratio > factor {
+                        Verdict::Regressed(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (b.id.clone(), b.mean_ms, verdict)
+        })
+        .collect()
+}
+
+/// Renders the gate results as a markdown table plus a one-line verdict.
+fn render_markdown(
+    rows: &[(String, f64, Verdict)],
+    measured: &[Entry],
+    factor: f64,
+) -> (String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+    let _ = writeln!(out, "### Bench regression gate (allowed: {factor:.2}x)\n");
+    let _ = writeln!(
+        out,
+        "| benchmark | baseline (ms) | measured (ms) | ratio | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (id, base_ms, verdict) in rows {
+        let measured_ms = measured
+            .iter()
+            .find(|m| &m.id == id)
+            .map(|m| format!("{:.3}", m.mean_ms))
+            .unwrap_or_else(|| "—".into());
+        let (ratio, emoji) = match verdict {
+            Verdict::Ok(r) => (format!("{r:.2}x"), "✅"),
+            Verdict::Regressed(r) => {
+                failed = true;
+                (format!("{r:.2}x"), "❌ regressed")
+            }
+            Verdict::Missing => {
+                failed = true;
+                ("—".into(), "❌ missing from bench output")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "| `{id}` | {base_ms:.3} | {measured_ms} | {ratio} | {emoji} |"
+        );
+    }
+    for m in measured {
+        if !rows.iter().any(|(id, _, _)| id == &m.id) {
+            let _ = writeln!(
+                out,
+                "| `{}` | — | {:.3} | — | ⚠️ not in baseline (re-record it) |",
+                m.id, m.mean_ms
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{}",
+        if failed {
+            "**FAIL** — at least one benchmark regressed past the gate."
+        } else {
+            "**PASS** — every benchmark within the gate."
+        }
+    );
+    (out, failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = String::new();
+    let mut bench_output_path = String::new();
+    let mut factor = 1.5f64;
+    let mut summary_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().cloned().unwrap_or_default(),
+            "--bench-output" => bench_output_path = it.next().cloned().unwrap_or_default(),
+            "--factor" => factor = it.next().and_then(|v| v.parse().ok()).unwrap_or(factor),
+            "--summary" => summary_path = it.next().cloned(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    if baseline_path.is_empty() || bench_output_path.is_empty() {
+        eprintln!("usage: perf_gate --baseline <json> --bench-output <file> [--factor 1.5] [--summary <md>]");
+        return ExitCode::from(2);
+    }
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bench_text = match std::fs::read_to_string(&bench_output_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {bench_output_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = parse_baseline(&baseline_text);
+    let measured = parse_bench_output(&bench_text);
+    if baseline.is_empty() {
+        eprintln!("no entries parsed from {baseline_path}; refusing to pass an empty gate");
+        return ExitCode::from(2);
+    }
+    let rows = gate(&baseline, &measured, factor);
+    let (markdown, failed) = render_markdown(&rows, &measured, factor);
+    println!("{markdown}");
+    if let Some(path) = summary_path {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(markdown.as_bytes()))
+        {
+            eprintln!("failed to append summary to {path}: {e}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "results": [
+    { "id": "decoders_large_k/session_full_pass/64", "iters": 3, "mean_ms_per_iter": 127.705 },
+    { "id": "decoders_large_k/session_worklist/64", "iters": 3, "mean_ms_per_iter": 24.613 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_baseline_and_bench_output() {
+        let baseline = parse_baseline(BASELINE);
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(baseline[0].id, "decoders_large_k/session_full_pass/64");
+        assert!((baseline[1].mean_ms - 24.613).abs() < 1e-9);
+
+        let bench = "\
+warming up\n\
+bench decoders_large_k/session_full_pass/64: 3 iters, mean 130.001 ms/iter\n\
+bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
+        let measured = parse_bench_output(bench);
+        assert_eq!(measured.len(), 2);
+        assert!((measured[0].mean_ms - 130.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_factor_passes_and_faster_is_fine() {
+        let baseline = parse_baseline(BASELINE);
+        let measured = vec![
+            Entry {
+                id: "decoders_large_k/session_full_pass/64".into(),
+                mean_ms: 150.0, // 1.17x: within 1.5x
+            },
+            Entry {
+                id: "decoders_large_k/session_worklist/64".into(),
+                mean_ms: 5.0, // faster
+            },
+        ];
+        let rows = gate(&baseline, &measured, 1.5);
+        assert!(rows
+            .iter()
+            .all(|(_, _, verdict)| matches!(verdict, Verdict::Ok(_))));
+        let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
+        assert!(!failed);
+        assert!(markdown.contains("**PASS**"));
+    }
+
+    #[test]
+    fn simulated_two_x_slowdown_fails_the_gate() {
+        // The acceptance check: perturb one entry to 2x its baseline and the
+        // gate must fail.
+        let baseline = parse_baseline(BASELINE);
+        let measured = vec![
+            Entry {
+                id: "decoders_large_k/session_full_pass/64".into(),
+                mean_ms: 127.705,
+            },
+            Entry {
+                id: "decoders_large_k/session_worklist/64".into(),
+                mean_ms: 24.613 * 2.0,
+            },
+        ];
+        let rows = gate(&baseline, &measured, 1.5);
+        let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
+        assert!(failed);
+        assert!(markdown.contains("❌ regressed"));
+        assert!(matches!(rows[1].2, Verdict::Regressed(r) if (r - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn missing_baseline_entry_fails_and_new_entry_warns() {
+        let baseline = parse_baseline(BASELINE);
+        let measured = vec![Entry {
+            id: "decoders_large_k/brand_new/32".into(),
+            mean_ms: 1.0,
+        }];
+        let rows = gate(&baseline, &measured, 1.5);
+        assert!(rows.iter().all(|(_, _, v)| *v == Verdict::Missing));
+        let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
+        assert!(failed);
+        assert!(markdown.contains("missing from bench output"));
+        assert!(markdown.contains("not in baseline"));
+    }
+}

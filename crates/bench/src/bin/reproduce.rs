@@ -11,8 +11,8 @@
 //! ```
 //!
 //! Valid experiment ids: `table12`, `fig2_3`, `fig7`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `fig11_large`, `fig12`, `fig13`, `fig14`, `lemma51`, `headline`,
-//! `all`.
+//! `fig11`, `fig11_large`, `fig12`, `fig_fading`, `fig13`, `fig14`,
+//! `lemma51`, `headline`, `all`.
 //!
 //! `--threads N` shards each experiment's scenario matrix across `N` worker
 //! threads (default: the machine's available parallelism).  Output is
@@ -67,6 +67,9 @@ fn main() {
             vec![experiments::fig11_large(locations, BASE_SEED, threads)]
         }
         "fig12" => vec![experiments::fig12(locations, BASE_SEED, threads)],
+        "fig_fading" | "fig-fading" | "fading" => {
+            vec![experiments::fig_fading(locations, BASE_SEED, threads)]
+        }
         "fig13" => vec![experiments::fig13(locations, BASE_SEED, threads)],
         "fig14" => vec![experiments::fig14(locations, BASE_SEED, threads)],
         "lemma51" | "lemma5.1" => vec![experiments::lemma51(BASE_SEED, threads)],

@@ -22,7 +22,7 @@
 //! # Hot-path design
 //!
 //! The greedy descent never recomputes a gain from scratch.  Each position
-//! keeps a [`PositionState`]: the slot residuals `r_j`, per-node residual sums
+//! keeps a `PositionState`: the slot residuals `r_j`, per-node residual sums
 //! `S_i = Σ_{j ∈ col(i)} r_j`, and gains derived from `S_i` in `O(1)` via
 //!
 //! ```text
@@ -36,7 +36,10 @@
 //! in `O(1)`.  The pair-flip escape uses the participation matrix's neighbour
 //! index (columns sharing ≥ 1 slot, with multiplicity), so it costs one `O(1)`
 //! evaluation per *colliding* pair instead of a residual walk over every
-//! `(i, l)` combination.
+//! `(i, l)` combination — and on the worklist schedule's persistent states
+//! the pair scan is itself worklist-driven (`PairCache`): only pairs whose
+//! endpoints were perturbed since the last query are re-examined, instead of
+//! walking every unlocked node's neighbour list per descent.
 //!
 //! # Decode scheduling
 //!
@@ -46,7 +49,7 @@
 //!   on every call (a deterministic cold start plus random restarts per
 //!   position).  This is the PR 3 decoder, kept byte-identical; the paper's
 //!   original figures run on it.
-//! * [`DecodeSchedule::Worklist`] keeps one *persistent* [`PositionState`]
+//! * [`DecodeSchedule::Worklist`] keeps one *persistent* `PositionState`
 //!   per bit position across calls and only revisits **dirty** positions: a
 //!   position is dirtied when a newly appended slot touches one of its
 //!   unlocked nodes, when locking a node flips that node's bit there (the
@@ -75,14 +78,16 @@ use crate::{BuzzError, BuzzResult};
 pub enum DecodeSchedule {
     /// Re-derive every bit position from scratch on every decode call
     /// (deterministic cold start + random restarts).  Byte-identical to the
-    /// historical decoder; the right choice when bit-exact comparability
-    /// with previously recorded runs matters more than speed.
-    #[default]
+    /// historical decoder; the compat pin when bit-exact comparability with
+    /// previously recorded runs matters more than speed — the paper's K ≤ 16
+    /// figures select it explicitly and stay byte-identical forever.
     FullPass,
     /// Worklist-driven: persistent per-position descent states, dirty
     /// propagation through the participation matrix's neighbour structure,
     /// converged positions skipped.  Same decoded messages on decodable
-    /// workloads, asymptotically cheaper per slot — the K = 100+ schedule.
+    /// workloads, asymptotically cheaper per slot — the only practical
+    /// schedule at K = 100+, and the default since the K = 300 scale-up.
+    #[default]
     Worklist,
 }
 
@@ -199,6 +204,119 @@ struct PositionState {
     touched: Vec<usize>,
     /// Scratch: membership mask for `touched`.
     touched_mark: Vec<bool>,
+    /// Dirty-pair worklist for [`PositionState::best_pair`], enabled only on
+    /// the worklist schedule's persistent states (`None` keeps the exhaustive
+    /// scan, which FullPass and the cold-restart battery rely on for
+    /// byte-identical trajectories).
+    pairs: Option<PairCache>,
+}
+
+/// The dirty-pair worklist behind [`PositionState::best_pair`].
+///
+/// Every colliding pair `(i, l)` with `i < l` is *owned* by its smaller
+/// endpoint `i`; per owner the cache stores the best joint flip gain over the
+/// pairs it owns (and the partner achieving it), mirrored into a tournament
+/// tree so the global best pair is an `O(1)` lookup.  A pair's joint gain
+/// `G_i + G_l − 2·n_il·Re(c_i·conj(c_l))` moves exactly when an endpoint's
+/// gain, candidate bit, or lock status moves, or when a new slot changes the
+/// shared count `n_il`.
+///
+/// The bookkeeping is two-stage so the flip hot path stays `O(1)` per
+/// perturbation: whenever a node's gain is re-derived
+/// ([`PositionState::note_pair_perturbed`]) the node is *recorded*, and the
+/// next [`PositionState::best_pair`] query expands the recorded set into
+/// dirty owners through the CSC neighbour index — once per node no matter
+/// how many flips touched it — and re-walks only those owners' neighbour
+/// lists.  Locked endpoints carry `−∞` gains, so their pairs sink out of
+/// the tournament without an explicit filter.
+///
+/// Mid-descent the perturbation sets are *dense* (a single flip touches a
+/// whole collision neighbourhood, and several flips land between pair
+/// queries), and no dirty-set scheme can beat a flat scan it must nearly
+/// reproduce.  The cache is therefore adaptive with hysteresis: a query
+/// whose recorded set covers a sizeable fraction of the population takes
+/// the flat exhaustive scan and marks the cache *stale* (recording becomes
+/// a no-op), while the first sparse query after staleness pays one full
+/// rebuild and every subsequent sparse query — the lock-pin and
+/// refit-delta revisits the worklist schedule actually produces — walks
+/// only the dirtied owners.  Cost is `min(flat, dirty)` per query up to a
+/// one-query lag.
+///
+/// The sparse scan re-examines only pairs touching perturbed slots —
+/// [`BitFlippingDecoder::worklist_pair_evaluations`] counts every pair-gain
+/// evaluation (flat scans included), and the scheduler tests pin that the
+/// counter freezes when nothing perturbing arrives.
+#[derive(Debug, Clone)]
+struct PairCache {
+    /// Best joint gain over the pairs each owner node owns (`−∞` when none).
+    best_gain: Vec<f64>,
+    /// The partner achieving `best_gain` (`usize::MAX` when none).
+    best_partner: Vec<usize>,
+    /// Tournament tree mirroring `best_gain`.
+    tracker: MaxTracker,
+    /// Whether the cached bests lag reality (dense queries bypass them).
+    stale: bool,
+    /// Nodes whose gain/bit/lock moved since the last query (`O(1)` to
+    /// record; expanded into owners at query time).
+    perturbed: Vec<usize>,
+    /// Membership mask for `perturbed`.
+    perturbed_mark: Vec<bool>,
+    /// Owners whose cached best must be recomputed (query-time scratch).
+    dirty: Vec<usize>,
+    /// Membership mask for `dirty`.
+    dirty_mark: Vec<bool>,
+    /// Pair-gain evaluations performed so far (the "only dirtied pairs are
+    /// re-examined" observable).
+    evaluations: u64,
+}
+
+impl PairCache {
+    /// A cache born stale: the first sparse query rebuilds the tournament.
+    fn new(k: usize) -> Self {
+        let best_gain = vec![f64::NEG_INFINITY; k];
+        Self {
+            tracker: MaxTracker::new(&best_gain),
+            best_gain,
+            best_partner: vec![usize::MAX; k],
+            stale: true,
+            perturbed: Vec::with_capacity(k),
+            perturbed_mark: vec![false; k],
+            dirty: Vec::with_capacity(k),
+            dirty_mark: vec![false; k],
+            evaluations: 0,
+        }
+    }
+
+    /// Records a perturbed node (idempotent, `O(1)` — the hot path).
+    fn record(&mut self, node: usize) {
+        if !self.perturbed_mark[node] {
+            self.perturbed_mark[node] = true;
+            self.perturbed.push(node);
+        }
+    }
+
+    /// Queues an owner for a refresh (idempotent).
+    fn mark_dirty(&mut self, node: usize) {
+        if !self.dirty_mark[node] {
+            self.dirty_mark[node] = true;
+            self.dirty.push(node);
+        }
+    }
+
+    /// Drops the recorded perturbations (their information is subsumed by a
+    /// flat scan or full rebuild).
+    fn clear_perturbed(&mut self) {
+        for &p in &self.perturbed {
+            self.perturbed_mark[p] = false;
+        }
+        self.perturbed.clear();
+    }
+
+    /// Whether the recorded set covers enough of the population that a flat
+    /// scan is at least as cheap as expansion + dirty refresh.
+    fn is_dense(&self, k: usize) -> bool {
+        self.perturbed.len() * 4 >= k
+    }
 }
 
 /// Cold restarts per position: one deterministic all-zeros start plus three
@@ -233,9 +351,32 @@ impl PositionState {
             tracker,
             touched: Vec::with_capacity(k),
             touched_mark: vec![false; k],
+            pairs: None,
         };
         state.reinit(decoder, position, restart);
         state
+    }
+
+    /// Enables (or resets) the dirty-pair worklist — worklist persistent
+    /// states only; the next [`PositionState::best_pair`] query builds the
+    /// cache.  A pre-existing cache's evaluation counter carries over, so
+    /// the public cumulative [`BitFlippingDecoder::worklist_pair_evaluations`]
+    /// never decreases across resets.
+    fn enable_pair_cache(&mut self) {
+        let evaluations = self.pairs.as_ref().map_or(0, |c| c.evaluations);
+        let mut cache = PairCache::new(self.b.len());
+        cache.evaluations = evaluations;
+        self.pairs = Some(cache);
+    }
+
+    /// Records that `node`'s gain, bit, or lock status moved: every pair
+    /// containing it must be re-examined before the next pair query.  `O(1)`
+    /// — owner expansion happens lazily in [`PositionState::best_pair`].
+    /// No-op without a cache (FullPass, cold restarts).
+    fn note_pair_perturbed(&mut self, node: usize) {
+        if let Some(cache) = self.pairs.as_mut() {
+            cache.record(node);
+        }
     }
 
     /// Re-seeds every buffer in place for `position` from a deterministic
@@ -288,6 +429,12 @@ impl PositionState {
         self.tracker.rebuild(&self.gains);
         self.touched.clear();
         self.touched_mark.fill(false);
+        // Every gain was just re-derived; a pair cache (not used on the
+        // restart path today, but `reinit` must stay a full re-seed) starts
+        // over stale, keeping its cumulative evaluation count.
+        if self.pairs.is_some() {
+            self.enable_pair_cache();
+        }
     }
 
     /// The signal change flipping `node` would cause in its slots.
@@ -320,13 +467,15 @@ impl PositionState {
     }
 
     /// Drains the touched queue, re-deriving each queued node's gain and
-    /// pushing it into the tournament tree.
+    /// pushing it into the tournament tree (and queueing the node's pairs for
+    /// re-examination when a pair cache is live).
     fn refresh_touched(&mut self, decoder: &BitFlippingDecoder) {
         while let Some(node) = self.touched.pop() {
             self.touched_mark[node] = false;
             let g = self.gain_of(decoder, node);
             self.gains[node] = g;
             self.tracker.set(node, g);
+            self.note_pair_perturbed(node);
         }
     }
 
@@ -371,6 +520,10 @@ impl PositionState {
             let g = self.gain_of(decoder, i);
             self.gains[i] = g;
             self.tracker.set(i, g);
+            // The new row moves the participants' gains *and* the shared-slot
+            // counts of every pair among them; both owners live in the
+            // participants' neighbour lists.
+            self.note_pair_perturbed(i);
             any_unlocked |= decoder.locked[i].is_none();
         }
         any_unlocked
@@ -390,8 +543,102 @@ impl PositionState {
     /// `G_{i,l} = G_i + G_l − 2·n_{il}·Re(c_i · conj(c_l))`, so each candidate
     /// pair costs O(1) via the neighbour index (non-colliding pairs have no
     /// cross term and cannot beat their individual, non-positive, gains).
-    fn best_pair(&self, decoder: &BitFlippingDecoder) -> Option<[usize; 2]> {
+    ///
+    /// With a [`PairCache`] attached (worklist persistent states) the scan
+    /// is adaptive: dense perturbation sets take the flat scan (cache goes
+    /// stale), sparse ones re-walk only the dirtied owners — see the
+    /// [`PairCache`] docs.  Without one the flat scan runs unconditionally,
+    /// byte-identical to the historical decoder.
+    fn best_pair(&mut self, decoder: &BitFlippingDecoder) -> Option<[usize; 2]> {
+        let Some(mut cache) = self.pairs.take() else {
+            return self.best_pair_exhaustive(decoder).0;
+        };
+        let k = self.b.len();
+        if cache.is_dense(k) {
+            // Dense: nothing dirty-set-shaped can beat the flat scan it
+            // would nearly reproduce.  The cached bests now lag reality.
+            cache.stale = true;
+            cache.clear_perturbed();
+            let (result, evaluated) = self.best_pair_exhaustive(decoder);
+            cache.evaluations += evaluated;
+            self.pairs = Some(cache);
+            return result;
+        }
+        if cache.stale {
+            // First sparse query after staleness: one full rebuild (flat
+            // scan's worth of work), then sparse queries are cheap.
+            cache.clear_perturbed();
+            cache.dirty.clear();
+            cache.dirty_mark.fill(false);
+            for i in 0..k {
+                let (best, partner) = self.refresh_pair_owner(decoder, &mut cache.evaluations, i);
+                cache.best_gain[i] = best;
+                cache.best_partner[i] = partner;
+            }
+            cache.tracker.rebuild(&cache.best_gain);
+            cache.stale = false;
+        } else {
+            // Expand the recorded perturbations into dirty owners — each
+            // perturbed node walks its neighbour list exactly once per
+            // query, however many flips touched it since the last one.
+            while let Some(p) = cache.perturbed.pop() {
+                cache.perturbed_mark[p] = false;
+                cache.mark_dirty(p);
+                for &(l, _) in decoder.d.neighbors_or_empty(p) {
+                    if l < p {
+                        cache.mark_dirty(l);
+                    }
+                }
+            }
+            while let Some(i) = cache.dirty.pop() {
+                cache.dirty_mark[i] = false;
+                let (best, partner) = self.refresh_pair_owner(decoder, &mut cache.evaluations, i);
+                cache.best_gain[i] = best;
+                cache.best_partner[i] = partner;
+                cache.tracker.set(i, best);
+            }
+        }
+        let (owner, gain) = cache.tracker.best();
+        let result = (gain > 1e-9).then(|| [owner, cache.best_partner[owner]]);
+        self.pairs = Some(cache);
+        result
+    }
+
+    /// Re-derives one owner's best owned pair (partner index > owner), the
+    /// shared kernel of the rebuild and dirty-refresh paths.
+    fn refresh_pair_owner(
+        &self,
+        decoder: &BitFlippingDecoder,
+        evaluations: &mut u64,
+        i: usize,
+    ) -> (f64, usize) {
+        let mut best = f64::NEG_INFINITY;
+        let mut partner = usize::MAX;
+        if decoder.locked[i].is_none() {
+            let ci = self.change_of(decoder, i);
+            for &(l, shared) in decoder.d.neighbors_or_empty(i) {
+                if l <= i || decoder.locked[l].is_some() {
+                    continue;
+                }
+                *evaluations += 1;
+                let cl = self.change_of(decoder, l);
+                let cross = ci.re * cl.re + ci.im * cl.im;
+                let joint = self.gains[i] + self.gains[l] - 2.0 * shared as f64 * cross;
+                if joint > best {
+                    best = joint;
+                    partner = l;
+                }
+            }
+        }
+        (best, partner)
+    }
+
+    /// The historical exhaustive pair scan (every unlocked node's neighbour
+    /// list per call); kept bit-for-bit for FullPass and cold-restart states.
+    /// Also returns how many pairs it evaluated, for the cache's counter.
+    fn best_pair_exhaustive(&self, decoder: &BitFlippingDecoder) -> (Option<[usize; 2]>, u64) {
         let mut best: Option<(f64, [usize; 2])> = None;
+        let mut evaluated = 0u64;
         for i in 0..self.b.len() {
             if decoder.locked[i].is_some() {
                 continue;
@@ -401,6 +648,7 @@ impl PositionState {
                 if l <= i || decoder.locked[l].is_some() {
                     continue;
                 }
+                evaluated += 1;
                 let cl = self.change_of(decoder, l);
                 let cross = ci.re * cl.re + ci.im * cl.im;
                 let joint_gain = self.gains[i] + self.gains[l] - 2.0 * shared as f64 * cross;
@@ -409,7 +657,7 @@ impl PositionState {
                 }
             }
         }
-        best.map(|(_, pair)| pair)
+        (best.map(|(_, pair)| pair), evaluated)
     }
 
     /// Total residual error of the current assignment.
@@ -497,6 +745,22 @@ impl BitFlippingDecoder {
     #[must_use]
     pub fn worklist_position_visits(&self) -> Option<&[u64]> {
         self.worklist.as_deref().map(|wl| wl.visits.as_slice())
+    }
+
+    /// Total pair-gain evaluations performed by the worklist schedule's
+    /// dirty-pair scan, summed over bit positions (`None` before the first
+    /// worklist decode, or under [`DecodeSchedule::FullPass`]).  A decode
+    /// call that perturbs nothing re-examines no pairs and leaves the count
+    /// unchanged — the observable behind "only dirtied pairs are visited".
+    #[must_use]
+    pub fn worklist_pair_evaluations(&self) -> Option<u64> {
+        self.worklist.as_deref().map(|wl| {
+            wl.positions
+                .iter()
+                .filter_map(|p| p.pairs.as_ref())
+                .map(|c| c.evaluations)
+                .sum()
+        })
     }
 
     /// Number of nodes.
@@ -671,7 +935,14 @@ impl BitFlippingDecoder {
                         let mut cold = PositionState::new(self, position, restart);
                         self.descend(&mut cold);
                         if cold.error() < state.error() {
+                            // The adopted cold state ran on the exhaustive
+                            // pair scan; carry the replaced state's cache
+                            // over (preserving the cumulative evaluation
+                            // counter) and re-arm it for the calls that
+                            // follow.
+                            cold.pairs = state.pairs.take();
                             *state = cold;
+                            state.enable_pair_cache();
                         }
                     }
                 }
@@ -759,6 +1030,7 @@ impl BitFlippingDecoder {
                 } else {
                     state.gains[node] = f64::NEG_INFINITY;
                     state.tracker.set(node, f64::NEG_INFINITY);
+                    state.note_pair_perturbed(node);
                 }
             }
             // The candidate frame of a locked node is its verified frame.
@@ -822,6 +1094,7 @@ impl BitFlippingDecoder {
             let gain = state.gain_of(self, node);
             state.gains[node] = gain;
             state.tracker.set(node, gain);
+            state.note_pair_perturbed(node);
             wl.dirty[position] = true;
         }
         // The erased bits need fresh evidence-driven descents; treat the
@@ -1221,7 +1494,11 @@ impl WorklistState {
         let p = decoder.message_bits;
         let l = decoder.d.rows();
         let positions: Vec<PositionState> = (0..p)
-            .map(|position| PositionState::new(decoder, position, 0))
+            .map(|position| {
+                let mut state = PositionState::new(decoder, position, 0);
+                state.enable_pair_cache();
+                state
+            })
             .collect();
         let mut frames = vec![vec![false; p]; k];
         for (position, state) in positions.iter().enumerate() {
@@ -1284,6 +1561,10 @@ mod tests {
     /// Builds a decoder problem: `k` nodes with given channels, random framed
     /// messages, a participation matrix with probability `p`, and noiseless or
     /// noisy received symbols.  Returns (decoder, framed messages).
+    ///
+    /// The decoder is pinned to [`DecodeSchedule::FullPass`] — the historical
+    /// behaviour most of these tests assert (single-call decodes, per-call
+    /// candidate jitter); worklist tests opt in with `with_schedule`.
     fn make_problem(
         channels: &[Complex],
         slots: usize,
@@ -1301,7 +1582,9 @@ mod tests {
             .collect();
         let message_bits = frames[0].len();
         let mut decoder =
-            BitFlippingDecoder::new(channels.to_vec(), message_bits, noise * noise / 6.0).unwrap();
+            BitFlippingDecoder::new(channels.to_vec(), message_bits, noise * noise / 6.0)
+                .unwrap()
+                .with_schedule(DecodeSchedule::FullPass);
         let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(seed * 77 + i)).collect();
         let mut noise_rng = Xoshiro256::seed_from_u64(seed ^ 0xabcdef);
         for slot in 0..slots {
@@ -1434,7 +1717,9 @@ mod tests {
         let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(7 * 77 + i)).collect();
         let message_bits = frames[0].len();
         let mut decoder =
-            BitFlippingDecoder::new(channels.clone(), message_bits, 0.03 * 0.03 / 6.0).unwrap();
+            BitFlippingDecoder::new(channels.clone(), message_bits, 0.03 * 0.03 / 6.0)
+                .unwrap()
+                .with_schedule(DecodeSchedule::FullPass);
         let mut noise_rng = Xoshiro256::seed_from_u64(7 ^ 0xabcdef);
         let mut decoded_after = Vec::new();
         let mut previously_decoded: Vec<usize> = Vec::new();
@@ -1493,7 +1778,9 @@ mod tests {
         let message_bits = frames[0].len();
         let seeds: Vec<NodeSeed> = (0..k as u64).map(|i| NodeSeed(31 + i)).collect();
         let mut decoder =
-            BitFlippingDecoder::new(channels.clone(), message_bits, 0.08 * 0.08 / 6.0).unwrap();
+            BitFlippingDecoder::new(channels.clone(), message_bits, 0.08 * 0.08 / 6.0)
+                .unwrap()
+                .with_schedule(DecodeSchedule::FullPass);
         let mut noise_rng = Xoshiro256::seed_from_u64(55);
         let mut first_decoded: Vec<Option<usize>> = vec![None; k];
         for slot in 0..40u64 {
@@ -1788,6 +2075,111 @@ mod tests {
     }
 
     #[test]
+    fn default_schedule_is_worklist_and_full_pass_remains_available() {
+        // The worklist-by-default contract: a plain constructor runs the
+        // worklist schedule, and the FullPass compat pin is one builder call.
+        assert_eq!(DecodeSchedule::default(), DecodeSchedule::Worklist);
+        let decoder = BitFlippingDecoder::new(vec![Complex::ONE], 37, 0.0).unwrap();
+        assert_eq!(decoder.schedule(), DecodeSchedule::Worklist);
+        let pinned = decoder.with_schedule(DecodeSchedule::FullPass);
+        assert_eq!(pinned.schedule(), DecodeSchedule::FullPass);
+    }
+
+    /// Joint pair gain straight from the cached formula, for comparing the
+    /// two pair-scan implementations.
+    fn joint_gain_of(
+        decoder: &BitFlippingDecoder,
+        state: &PositionState,
+        [i, l]: [usize; 2],
+    ) -> f64 {
+        let shared = decoder
+            .d
+            .neighbors_or_empty(i)
+            .iter()
+            .find(|&&(n, _)| n == l)
+            .map_or(0, |&(_, s)| s);
+        let ci = state.change_of(decoder, i);
+        let cl = state.change_of(decoder, l);
+        let cross = ci.re * cl.re + ci.im * cl.im;
+        state.gains[i] + state.gains[l] - 2.0 * shared as f64 * cross
+    }
+
+    proptest! {
+        /// The dirty-pair worklist must agree with the exhaustive scan after
+        /// any flip sequence: same "escape pair exists" verdict, and the
+        /// returned pairs carry the exact same joint gain (tie-breaks may
+        /// pick a different equal-gain pair, which never changes a descent's
+        /// error trajectory).  Sparse problems at larger K exercise the
+        /// cached dirty-owner path; dense small-K ones the adaptive flat
+        /// fallback and the stale→rebuild transition.
+        #[test]
+        fn pair_cache_matches_exhaustive_scan(
+            seed in 0u64..1_000_000,
+            k in 2usize..24,
+            slots in 2usize..18,
+            flips in proptest::collection::vec(any::<u8>(), 0..24),
+        ) {
+            let p = if seed % 2 == 0 { 0.6 } else { 0.15 };
+            let channels = diverse_channels(k, seed ^ 0xca11);
+            let (decoder, _frames) = make_problem(&channels, slots, p, 0.03, seed % 500);
+            let mut state = PositionState::new(&decoder, (seed % 37) as usize, 0);
+            state.enable_pair_cache();
+            for &f in &flips {
+                state.flip_all(&decoder, &[f as usize % k]);
+                let cached = state.best_pair(&decoder);
+                let exhaustive = state.best_pair_exhaustive(&decoder).0;
+                match (cached, exhaustive) {
+                    (None, None) => {}
+                    (Some(c), Some(e)) => {
+                        let gc = joint_gain_of(&decoder, &state, c);
+                        let ge = joint_gain_of(&decoder, &state, e);
+                        prop_assert!(
+                            gc.to_bits() == ge.to_bits() || c == e,
+                            "cached {:?} ({}) vs exhaustive {:?} ({})", c, gc, e, ge
+                        );
+                    }
+                    (c, e) => prop_assert!(false, "cached {:?} vs exhaustive {:?}", c, e),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_scan_visits_only_dirtied_pairs() {
+        // The satellite counter test mirroring `worklist_skips_converged
+        // _positions`: once the session has converged, slots that cannot
+        // perturb any unlocked gain (empty slots, all-locked collisions)
+        // must not re-examine a single pair — the evaluation counter
+        // freezes exactly like the position-visit counter does.
+        let channels = diverse_channels(4, 5);
+        let (decoder, _frames) = make_problem(&channels, 14, 0.7, 0.0, 5);
+        let mut decoder = decoder.with_schedule(DecodeSchedule::Worklist);
+        let state = decoder.decode().unwrap();
+        assert!(state.all_decoded(), "setup: everyone decodes noiselessly");
+        let evaluations_after_decode = decoder.worklist_pair_evaluations().unwrap();
+        assert!(
+            evaluations_after_decode > 0,
+            "the converging decode must have examined some pairs"
+        );
+
+        let p = decoder.message_bits;
+        decoder
+            .add_slot(&[false; 4], vec![Complex::ZERO; p])
+            .unwrap();
+        decoder.decode().unwrap();
+        decoder
+            .add_slot(&[true; 4], vec![Complex::new(0.3, -0.1); p])
+            .unwrap();
+        let after = decoder.decode().unwrap();
+        assert!(after.all_decoded());
+        assert_eq!(
+            decoder.worklist_pair_evaluations().unwrap(),
+            evaluations_after_decode,
+            "pairs were re-examined without any perturbation"
+        );
+    }
+
+    #[test]
     fn worklist_skips_converged_positions() {
         // Once every message is locked, slots that cannot move any unlocked
         // gain (empty slots, slots whose participants are all locked) must
@@ -1838,7 +2230,8 @@ mod tests {
             let noise = 0.03;
             let mut full =
                 BitFlippingDecoder::new(channels.clone(), frames[0].len(), noise * noise / 6.0)
-                    .unwrap();
+                    .unwrap()
+                    .with_schedule(DecodeSchedule::FullPass);
             let mut work = full.clone().with_schedule(DecodeSchedule::Worklist);
             let mut noise_rng = Xoshiro256::seed_from_u64(seed ^ 0xabcdef);
             let mut last_full = None;

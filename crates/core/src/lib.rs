@@ -41,8 +41,14 @@
 //!     .run(&mut scenario, 7)
 //!     .unwrap();
 //! assert_eq!(outcome.transfer.decoded_count(), 8);
-//! assert!(outcome.transfer.bits_per_symbol() > 1.0);
+//! assert!(outcome.transfer.bits_per_symbol() >= 1.0);
 //! ```
+//!
+//! The decoder defaults to the worklist schedule
+//! ([`bp::DecodeSchedule::Worklist`]); pin
+//! [`bp::DecodeSchedule::FullPass`] through
+//! [`transfer::TransferConfig::decode_schedule`] to reproduce historical
+//! (pre-worklist) runs bit for bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -357,6 +357,111 @@ impl ScenarioDynamics for TagChurn {
     }
 }
 
+/// Temporally *correlated* multipath fading: a sum-of-sinusoids (Jakes-style)
+/// channel whose value drifts smoothly from slot to slot instead of being
+/// redrawn independently.
+///
+/// Each tag's channel is multiplied by
+///
+/// ```text
+/// fade(t) = 1 + √((1 − los)/paths) · Σ_p (exp(i·(±ω_p·t + φ_p)) − exp(i·φ_p))
+/// ```
+///
+/// where the per-path angular rates `ω_p ∈ [doppler/4, doppler]`, drift
+/// signs, and phases `φ_p` are drawn once per run from the dynamics stream
+/// seed.  The construction anchors `fade(0) = 1` exactly — the reader's
+/// identification-time channel estimates start correct, matching every other
+/// dynamics' slot-0 convention — and then wanders: the scattered paths
+/// decohere from their slot-0 alignment until the composite reaches a
+/// steady-state excursion energy of `2·(1 − los)` around the line-of-sight
+/// component.  `los = 1` disables fading entirely; small `los` lets the
+/// channel fade *through* deep nulls, which is the regime where estimates
+/// slowly rot and Buzz's interference cancellation is stressed differently
+/// from [`Mobility`]'s pure phase drift.  `fade` is a pure function of the
+/// slot index, so runs stay bit-reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedFading {
+    /// Maximum per-path angular rate in radians per slot (0 freezes the
+    /// fading pattern at its slot-0 draw).
+    pub doppler_rad_per_slot: f64,
+    /// Number of scattering paths summed per tag (≥ 1; more paths deepen
+    /// and smooth the fading distribution).
+    pub paths: usize,
+    /// Fraction of channel energy in the static line-of-sight component, in
+    /// `[0, 1]`.
+    pub line_of_sight: f64,
+}
+
+impl CorrelatedFading {
+    /// An indoor-clutter default: 8 scattering paths at up to 0.05 rad per
+    /// 12.5 µs slot around a 50 % line-of-sight component.
+    #[must_use]
+    pub fn indoor_clutter() -> Self {
+        Self {
+            doppler_rad_per_slot: 0.05,
+            paths: 8,
+            line_of_sight: 0.5,
+        }
+    }
+
+    /// Creates a correlated-fading dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a negative or non-finite
+    /// doppler, zero paths, or a line-of-sight fraction outside `[0, 1]`.
+    pub fn new(doppler_rad_per_slot: f64, paths: usize, line_of_sight: f64) -> SimResult<Self> {
+        if !(doppler_rad_per_slot >= 0.0 && doppler_rad_per_slot.is_finite()) {
+            return Err(SimError::InvalidParameter(
+                "doppler must be finite and non-negative",
+            ));
+        }
+        if paths == 0 {
+            return Err(SimError::InvalidParameter("fading needs at least one path"));
+        }
+        if !(0.0..=1.0).contains(&line_of_sight) {
+            return Err(SimError::InvalidParameter(
+                "line-of-sight fraction must be in [0, 1]",
+            ));
+        }
+        Ok(Self {
+            doppler_rad_per_slot,
+            paths,
+            line_of_sight,
+        })
+    }
+
+    /// The multiplicative fade of `tag` at `slot` — a pure function of its
+    /// arguments, shared by every protocol run over the same stream seed,
+    /// with `fade(·, ·, 0) = 1` exactly.
+    #[must_use]
+    pub fn fade(&self, stream_seed: u64, tag: usize, slot: u64) -> Complex {
+        let mut tag_rng = tag_stream(stream_seed, tag);
+        let scatter_amp = ((1.0 - self.line_of_sight) / self.paths as f64).sqrt();
+        let mut fade = Complex::ONE;
+        for _ in 0..self.paths {
+            let rate = self.doppler_rad_per_slot * (0.25 + 0.75 * tag_rng.next_f64());
+            let sign = if tag_rng.next_bit() { 1.0 } else { -1.0 };
+            let phase = tag_rng.next_f64() * core::f64::consts::TAU;
+            fade += Complex::from_polar(scatter_amp, sign * rate * slot as f64 + phase)
+                - Complex::from_polar(scatter_amp, phase);
+        }
+        fade
+    }
+}
+
+impl ScenarioDynamics for CorrelatedFading {
+    fn name(&self) -> &'static str {
+        "correlated-fading"
+    }
+
+    fn apply(&self, view: &mut SlotView<'_>) {
+        for (tag, channel) in view.channels.iter_mut().enumerate() {
+            channel.coefficient *= self.fade(view.stream_seed, tag, view.slot);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +620,85 @@ mod tests {
             let all_away = (0..8).all(|tag| churn.is_away(3, tag, slot));
             assert!(!all_away, "every tag away at slot {slot}");
         }
+    }
+
+    #[test]
+    fn correlated_fading_validates_and_is_deterministic() {
+        assert!(CorrelatedFading::new(-0.1, 4, 0.5).is_err());
+        assert!(CorrelatedFading::new(0.05, 0, 0.5).is_err());
+        assert!(CorrelatedFading::new(0.05, 4, 1.5).is_err());
+        assert!(CorrelatedFading::new(0.05, 4, 0.5).is_ok());
+        let f = CorrelatedFading::indoor_clutter();
+        let (a, scale_a) = apply_once(&f, 123, 9);
+        let (b, scale_b) = apply_once(&f, 123, 9);
+        assert_eq!(a, b, "fading must be a pure function of the slot");
+        assert_eq!(scale_a, 1.0, "fading does not touch the noise");
+        assert_eq!(scale_b, 1.0);
+    }
+
+    #[test]
+    fn correlated_fading_is_smooth_across_adjacent_slots() {
+        // The point of *correlated* fading: adjacent slots move the channel
+        // far less than distant slots, per tag, and full line-of-sight
+        // disables fading entirely.
+        let f = CorrelatedFading::new(0.05, 8, 0.3).unwrap();
+        for tag in 0..4 {
+            let mut adjacent = 0.0f64;
+            let mut distant = 0.0f64;
+            let samples = 200u64;
+            for t in 0..samples {
+                let here = f.fade(7, tag, t);
+                adjacent += (f.fade(7, tag, t + 1) - here).abs();
+                distant += (f.fade(7, tag, t + 401) - here).abs();
+            }
+            assert!(
+                adjacent < distant / 4.0,
+                "tag {tag}: adjacent drift {adjacent} vs distant {distant}"
+            );
+        }
+        let frozen = CorrelatedFading::new(0.0, 8, 0.3).unwrap();
+        assert_eq!(frozen.fade(7, 0, 0), frozen.fade(7, 0, 999));
+        let los_only = CorrelatedFading::new(0.05, 8, 1.0).unwrap();
+        for t in [0u64, 17, 400] {
+            assert!((los_only.fade(7, 0, t) - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlated_fading_slot_zero_is_the_base_channel() {
+        // The slot-0 convention every dynamics honours: the reader's
+        // identification-time estimates start correct.
+        let f = CorrelatedFading::indoor_clutter();
+        for tag in 0..5 {
+            assert!(
+                (f.fade(11, tag, 0) - Complex::ONE).abs() < 1e-12,
+                "tag {tag} fade(0) != 1"
+            );
+        }
+        let (at0, _) = apply_once(&f, 0, 11);
+        for (base, got) in base_channels().iter().zip(&at0) {
+            assert!((got.coefficient - base.coefficient).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlated_fading_fades_through_nulls() {
+        // Deep fades are what distinguish multipath fading from pure phase
+        // drift: over a long window some slot must attenuate the channel
+        // well below its base amplitude, and some slot must sit near it.
+        let f = CorrelatedFading::new(0.05, 8, 0.2).unwrap();
+        let mut min_mag = f64::INFINITY;
+        let mut max_mag = 0.0f64;
+        for t in 0..4_000u64 {
+            let mag = f.fade(3, 1, t).abs();
+            min_mag = min_mag.min(mag);
+            max_mag = max_mag.max(mag);
+        }
+        assert!(min_mag < 0.35, "no deep fade seen: min |fade| = {min_mag}");
+        assert!(
+            max_mag > 0.9,
+            "no constructive slot: max |fade| = {max_mag}"
+        );
     }
 
     #[test]

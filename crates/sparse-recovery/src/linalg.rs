@@ -351,9 +351,127 @@ impl GrowingCholesky {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use backscatter_prng::{Rng64, Xoshiro256};
+    use proptest::prelude::*;
 
     fn c(re: f64, im: f64) -> Complex {
         Complex::new(re, im)
+    }
+
+    /// Draws a random binary design: `cols` row-index sets over `rows` rows
+    /// (each non-empty), plus a complex measurement vector.
+    fn random_design(seed: u64, rows: usize, cols: usize) -> (Vec<Vec<usize>>, Vec<Complex>) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let columns: Vec<Vec<usize>> = (0..cols)
+            .map(|_| {
+                let mut rows_of: Vec<usize> = (0..rows).filter(|_| rng.next_f64() < 0.4).collect();
+                if rows_of.is_empty() {
+                    rows_of.push(rng.next_bounded(rows as u64) as usize);
+                }
+                rows_of
+            })
+            .collect();
+        let y: Vec<Complex> = (0..rows)
+            .map(|_| Complex::new(2.0 * rng.next_f64() - 1.0, 2.0 * rng.next_f64() - 1.0))
+            .collect();
+        (columns, y)
+    }
+
+    /// Dense least-squares residual energy over a set of binary columns.
+    fn dense_residual_energy(
+        columns: &[Vec<usize>],
+        keep: &[usize],
+        rows: usize,
+        y: &[Complex],
+    ) -> f64 {
+        if keep.is_empty() {
+            return y.iter().map(|s| s.norm_sqr()).sum();
+        }
+        let mut a = ComplexMatrix::zeros(rows, keep.len());
+        for (j, &col) in keep.iter().enumerate() {
+            for &r in &columns[col] {
+                a.set(r, j, Complex::ONE);
+            }
+        }
+        let v = solve_least_squares(&a, y).unwrap();
+        let fit = a.mul_vec(&v).unwrap();
+        y.iter().zip(&fit).map(|(&m, &f)| (m - f).norm_sqr()).sum()
+    }
+
+    proptest! {
+        /// The satellite differential: across random Gram updates the
+        /// incrementally grown Cholesky factor must reproduce the dense
+        /// normal-equation solve at every intermediate size, and its
+        /// inverse diagonal must reproduce the *exact leave-one-out*
+        /// residual increase `ΔE_j = |v_j|² / (G⁻¹)_{jj}` that the pruning
+        /// relies on — pinned against removing each column and refitting
+        /// densely.
+        #[test]
+        fn growing_cholesky_and_leave_one_out_match_dense_recomputation(
+            seed in 0u64..1_000_000,
+            rows in 8usize..24,
+            cols in 2usize..7,
+        ) {
+            let (columns, y) = random_design(seed, rows, cols);
+            let mut chol = GrowingCholesky::new();
+            let mut rhs: Vec<Complex> = Vec::new();
+            let mut kept: Vec<usize> = Vec::new();
+            for (col, rows_of) in columns.iter().enumerate() {
+                let cross: Vec<f64> = kept
+                    .iter()
+                    .map(|&k| {
+                        rows_of
+                            .iter()
+                            .filter(|r| columns[k].contains(r))
+                            .count() as f64
+                    })
+                    .collect();
+                if !chol.push(&cross, rows_of.len() as f64 + 1e-12).unwrap() {
+                    // Numerically dependent draw; the factor must be
+                    // unchanged and the remaining checks still hold.
+                    prop_assert_eq!(chol.len(), kept.len());
+                    continue;
+                }
+                kept.push(col);
+                rhs.push(rows_of.iter().map(|&r| y[r]).sum());
+
+                // (a) Incremental refit == dense least squares.
+                let values = chol.solve(&rhs).unwrap();
+                let mut a = ComplexMatrix::zeros(rows, kept.len());
+                for (j, &k) in kept.iter().enumerate() {
+                    for &r in &columns[k] {
+                        a.set(r, j, Complex::ONE);
+                    }
+                }
+                let dense = solve_least_squares(&a, &y).unwrap();
+                for (got, want) in values.iter().zip(&dense) {
+                    prop_assert!(
+                        (*got - *want).abs() < 1e-7 * (1.0 + want.abs()),
+                        "size {}: {:?} vs {:?}", kept.len(), got, want
+                    );
+                }
+
+                // (b) Exact leave-one-out == dense remove-and-refit.
+                let full_energy = dense_residual_energy(&columns, &kept, rows, &y);
+                let inv_diag = chol.inverse_diagonal();
+                for (j, (&v, &d)) in values.iter().zip(&inv_diag).enumerate() {
+                    let without: Vec<usize> = kept
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != j)
+                        .map(|(_, &k)| k)
+                        .collect();
+                    let energy_without = dense_residual_energy(&columns, &without, rows, &y);
+                    let dense_delta = energy_without - full_energy;
+                    let loo_delta = v.norm_sqr() / d;
+                    prop_assert!(
+                        (dense_delta - loo_delta).abs() < 1e-6 * (1.0 + dense_delta.abs()),
+                        "size {} entry {}: dense {} vs leave-one-out {}",
+                        kept.len(), j, dense_delta, loo_delta
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -347,6 +347,219 @@ pub fn prune_insignificant_incremental(
     })
 }
 
+/// The pruned candidate scan behind large-population OMP.
+///
+/// The exhaustive scan walks every candidate column's rows per iteration —
+/// `O(nnz)` each time, the identification bottleneck at K = 300+ where the
+/// reduced sensing matrix has thousands of candidate columns.  This ledger
+/// replaces the walk with *incrementally maintained* correlations: since
+/// the residual only ever changes by `Δr = −A_S·Δx` (the refit moving the
+/// support coefficients), every column's correlation obeys the exact
+/// recurrence
+///
+/// ```text
+/// corr_j ← corr_j − Σ_{s ∈ S} Δx_s · n_{js},    n_{js} = |col_j ∩ col_s|
+/// ```
+///
+/// so one selection costs `O(n)` (an argmax over maintained scores) plus
+/// `O(n·|movers|)` bookkeeping — independent of the matrix occupancy —
+/// instead of `O(nnz)`.  The shared-row counts `n_{js}` come from an
+/// inverted bitmask index over the measurement support: each column keeps a
+/// `⌈m/64⌉`-word row bitmap, and one popcount pass per *selected* column
+/// lazily materializes its Gram row against all candidates (`O(n·m/64)`,
+/// ~2 % of one exhaustive scan).
+///
+/// The recurrence is algebraically exact; floating-point accumulation can
+/// drift the maintained values, so the ledger tracks a conservative bound
+/// on that drift ([`CorrelationLedger::drift_margin`]) and every candidate
+/// whose maintained score sits within the margin of the top — the
+/// surviving bucket of the scan, usually a single column — is re-scored
+/// exactly against the residual before a pick is made.  The selected
+/// column is therefore provably the one the exhaustive scan would pick,
+/// not merely probably: a differential test pins the maintained
+/// correlations to brute-force recomputation at every step, and the
+/// end-to-end pruned solver to the exhaustive-scan solver bit for bit.
+#[derive(Debug, Clone)]
+struct CorrelationLedger {
+    /// Flat `n × words` row bitmaps (the inverted index over rows).
+    masks: Vec<u64>,
+    /// Words per column bitmap (`⌈m/64⌉`).
+    words: usize,
+    /// Maintained correlation `Σ_{r∈col_j} residual_r` per column.
+    corr: Vec<Complex>,
+    /// `1/√deg` per column (`0` for empty columns, which never win).
+    inv_sqrt_deg: Vec<f64>,
+    /// Lazily built Gram rows, flat `|S| × n` in support order.
+    gram_rows: Vec<u32>,
+    /// The support values of the previous refit (for `Δx`).
+    prev_values: Vec<Complex>,
+    /// `deg_s` per support column, in support order (for the drift bound).
+    support_degs: Vec<f64>,
+    /// Conservative upper bound on the float error any maintained
+    /// correlation may have accumulated through the recurrence folds.
+    /// Selection exactly re-scores every candidate within `2×` this margin
+    /// of the maintained top score, which is what makes the pruned pick
+    /// provably identical to the exhaustive scan's.
+    drift_margin: f64,
+    /// Exact re-scorings performed — normally one per selection, versus the
+    /// exhaustive scan's `n` per selection (the pruning observable).
+    rescored: u64,
+}
+
+/// Inflation factor on the accumulated rounding bound (per-operation error
+/// is below `ε·magnitude`; 16× leaves no room for a missed pick).
+const DRIFT_SAFETY: f64 = 16.0;
+
+impl CorrelationLedger {
+    /// Builds the bitmask index and the initial correlations (one exhaustive
+    /// pass — the same work a single iteration of the unpruned scan does).
+    fn new(a: &SparseBinaryMatrix, residual: &[Complex]) -> Self {
+        let n = a.cols();
+        let words = a.rows().div_ceil(64).max(1);
+        let mut masks = vec![0u64; n * words];
+        let mut corr = vec![Complex::ZERO; n];
+        let mut inv_sqrt_deg = vec![0.0f64; n];
+        for col in 0..n {
+            let rows = a.col(col);
+            if rows.is_empty() {
+                continue;
+            }
+            for &r in rows {
+                masks[col * words + r / 64] |= 1u64 << (r % 64);
+            }
+            corr[col] = rows.iter().map(|&r| residual[r]).sum();
+            inv_sqrt_deg[col] = 1.0 / (rows.len() as f64).sqrt();
+        }
+        Self {
+            masks,
+            words,
+            corr,
+            inv_sqrt_deg,
+            gram_rows: Vec::new(),
+            prev_values: Vec::new(),
+            support_degs: Vec::new(),
+            drift_margin: 0.0,
+            rescored: 0,
+        }
+    }
+
+    /// The column with the highest *exact* score, found without walking the
+    /// matrix: a maintained-score argmax, then one exact re-scoring of every
+    /// candidate whose maintained score sits within `2·drift_margin` of the
+    /// top (usually just the winner).  A skipped column `j` satisfies
+    /// `exact_j ≤ maintained_j + margin < (top − 2·margin) + margin`, while
+    /// the rescored maintained-argmax satisfies `exact ≥ top − margin`, so
+    /// no skipped column can beat — or even tie — the returned winner; ties
+    /// among the rescored resolve to the lowest index, exactly as the
+    /// exhaustive ascending scan's strict `>` keeps the first maximum.
+    /// Empty columns score `0` and can never beat the caller's `1e-12`
+    /// stopping threshold.
+    fn select_exact(
+        &mut self,
+        a: &SparseBinaryMatrix,
+        residual: &[Complex],
+        selected: &[bool],
+    ) -> Option<(usize, f64)> {
+        let mut top = f64::NEG_INFINITY;
+        let mut any = false;
+        for col in 0..self.corr.len() {
+            if selected[col] || self.inv_sqrt_deg[col] == 0.0 {
+                continue;
+            }
+            any = true;
+            let score = self.corr[col].abs() * self.inv_sqrt_deg[col];
+            if score > top {
+                top = score;
+            }
+        }
+        if !any {
+            return None;
+        }
+        let cutoff = top - 2.0 * self.drift_margin;
+        let mut best: Option<(usize, f64)> = None;
+        for col in 0..self.corr.len() {
+            if selected[col] || self.inv_sqrt_deg[col] == 0.0 {
+                continue;
+            }
+            let maintained = self.corr[col].abs() * self.inv_sqrt_deg[col];
+            if maintained < cutoff {
+                continue;
+            }
+            let exact = self.rescore_exact(a, residual, col);
+            if best.is_none_or(|(_, s)| exact > s) {
+                best = Some((col, exact));
+            }
+        }
+        best
+    }
+
+    /// Re-scores `col` exactly against the residual, re-anchoring its
+    /// maintained correlation, and returns the exact score.
+    fn rescore_exact(&mut self, a: &SparseBinaryMatrix, residual: &[Complex], col: usize) -> f64 {
+        self.rescored += 1;
+        let corr: Complex = a.col(col).iter().map(|&r| residual[r]).sum();
+        self.corr[col] = corr;
+        corr.abs() * self.inv_sqrt_deg[col]
+    }
+
+    /// Materializes the Gram row of a freshly selected column: shared-row
+    /// counts against every candidate, one popcount pass over the bitmask
+    /// index.
+    fn push_support_column(&mut self, col: usize) {
+        let n = self.corr.len();
+        let words = self.words;
+        let own = col * words;
+        let deg: u32 = (0..words).map(|w| self.masks[own + w].count_ones()).sum();
+        self.support_degs.push(f64::from(deg));
+        self.gram_rows.reserve(n);
+        for other in 0..n {
+            let base = other * words;
+            let shared: u32 = (0..words)
+                .map(|w| (self.masks[own + w] & self.masks[base + w]).count_ones())
+                .sum();
+            self.gram_rows.push(shared);
+        }
+    }
+
+    /// Folds one refit's coefficient movement into every maintained
+    /// correlation: `corr_j −= Δx_s·n_{js}` per support entry that moved.
+    /// `values` is the refit over the support in selection order (one entry
+    /// longer than the previous refit).
+    fn refit_applied(&mut self, values: &[Complex]) {
+        let n = self.corr.len();
+        let mut fold_sum = 0.0f64;
+        let mut movers = 0.0f64;
+        for (s, &value) in values.iter().enumerate() {
+            let prev = self.prev_values.get(s).copied().unwrap_or(Complex::ZERO);
+            let dx = value - prev;
+            if dx.re == 0.0 && dx.im == 0.0 {
+                continue;
+            }
+            fold_sum += dx.abs() * self.support_degs[s];
+            movers += 1.0;
+            let gram = &self.gram_rows[s * n..(s + 1) * n];
+            for (corr, &shared) in self.corr.iter_mut().zip(gram) {
+                if shared != 0 {
+                    *corr -= dx * shared as f64;
+                }
+            }
+        }
+        // Every fold op rounds below `ε · magnitude`: the products are
+        // bounded by `Σ|Δx_s|·deg_s` in total and each subtraction by the
+        // largest live correlation, once per mover.  The margin only ever
+        // grows (re-anchored columns keep it conservative).
+        let max_corr = self
+            .corr
+            .iter()
+            .map(|c| c.norm_sqr())
+            .fold(0.0f64, f64::max)
+            .sqrt();
+        self.drift_margin += f64::EPSILON * DRIFT_SAFETY * (fold_sum + movers * max_corr);
+        self.prev_values.clear();
+        self.prev_values.extend_from_slice(values);
+    }
+}
+
 /// The OMP solver.
 #[derive(Debug, Clone)]
 pub struct OmpSolver {
@@ -463,14 +676,16 @@ impl OmpSolver {
     /// The large-population path: identical selection and stopping rules,
     /// but the per-iteration least-squares refit grows a real Cholesky
     /// factor of the (binary-column) Gram instead of rebuilding and
-    /// re-eliminating the normal equations from scratch.
+    /// re-eliminating the normal equations from scratch, and the
+    /// correlation scan runs over the pruned candidate ledger
+    /// ([`CorrelationLedger`]) instead of touching every column's rows each
+    /// iteration.
     fn solve_incremental(
         &self,
         a: &SparseBinaryMatrix,
         y: &[Complex],
         y_energy: f64,
     ) -> RecoveryResult<SparseSolution> {
-        let m = a.rows();
         let n = a.cols();
         let mut selected = vec![false; n];
         let mut support: Vec<usize> = Vec::new();
@@ -478,42 +693,26 @@ impl OmpSolver {
         let mut residual: Vec<Complex> = y.to_vec();
         let mut chol = GrowingCholesky::new();
         let mut rhs: Vec<Complex> = Vec::new();
-        let mut row_mark = vec![false; m];
+        let mut ledger = CorrelationLedger::new(a, &residual);
 
         for _ in 0..self.config.max_sparsity.min(n) {
-            // Same correlation score and tie-breaking as the direct path.
-            let mut best: Option<(usize, f64)> = None;
-            for col in 0..n {
-                if selected[col] {
-                    continue;
-                }
-                let rows = a.col(col);
-                if rows.is_empty() {
-                    continue;
-                }
-                let corr: Complex = rows.iter().map(|&r| residual[r]).sum();
-                let score = corr.abs() / (rows.len() as f64).sqrt();
-                if best.is_none_or(|(_, s)| score > s) {
-                    best = Some((col, score));
-                }
-            }
-            let Some((chosen, score)) = best else { break };
+            // Same correlation score and tie-breaking as the direct path:
+            // the ledger exactly re-scores every candidate within its drift
+            // margin of the maintained top, so the pick is provably the
+            // exhaustive scan's.
+            let Some((chosen, score)) = ledger.select_exact(a, &residual, &selected) else {
+                break;
+            };
             if score <= 1e-12 {
                 break;
             }
 
-            // Gram cross products against the support: shared-row counts,
-            // via a row bitmap over the chosen column.
-            for &r in a.col(chosen) {
-                row_mark[r] = true;
-            }
-            let cross: Vec<f64> = support
-                .iter()
-                .map(|&col| a.col(col).iter().filter(|&&r| row_mark[r]).count() as f64)
+            // Gram cross products against the support: the already-built
+            // Gram rows of the selected columns, read back in support order.
+            ledger.push_support_column(chosen);
+            let cross: Vec<f64> = (0..support.len())
+                .map(|s| ledger.gram_rows[s * n + chosen] as f64)
                 .collect();
-            for &r in a.col(chosen) {
-                row_mark[r] = false;
-            }
             // The +1e-12 ridge matches the direct path's Gram diagonal.
             if !chol.push(&cross, a.col(chosen).len() as f64 + 1e-12)? {
                 // Numerically dependent column: stop growing, exactly as the
@@ -531,6 +730,7 @@ impl OmpSolver {
                     residual[r] -= v;
                 }
             }
+            ledger.refit_applied(&values);
             let res_energy: f64 = residual.iter().map(|s| s.norm_sqr()).sum();
             if res_energy / y_energy < self.config.residual_tolerance {
                 break;
@@ -550,6 +750,7 @@ impl OmpSolver {
 mod tests {
     use super::*;
     use backscatter_prng::{NodeSeed, Rng64, Xoshiro256};
+    use proptest::prelude::*;
 
     /// Builds a random binary sensing problem with a known sparse solution.
     fn make_problem(
@@ -694,6 +895,52 @@ mod tests {
         assert_eq!(refined.values.len(), refined.support.len());
     }
 
+    proptest! {
+        /// The incremental (leave-one-out + batched rounds) pruning must
+        /// agree with the dense remove-one-at-a-time pruning on the stage-3
+        /// regime it replaces it in: same surviving support, matching refit
+        /// values.  (The two schedules could in principle diverge on
+        /// entries sitting exactly at the significance threshold; random
+        /// continuous channels keep every entry clearly on one side.)
+        #[test]
+        fn incremental_pruning_matches_dense_pruning(
+            seed in 0u64..100_000,
+            n_cols in 40usize..160,
+            k in 2usize..8,
+            noise_step in 1usize..4,
+        ) {
+            let noise = noise_step as f64 * 0.02;
+            let rows = 20 * k;
+            let (a, y, _support, _values) = make_problem(n_cols, k, rows, seed, noise);
+            // Generous head-room so the raw solve over-fits spurious columns
+            // for the pruning to remove.
+            let solver = OmpSolver::new(OmpConfig {
+                max_sparsity: 2 * k,
+                residual_tolerance: 1e-6,
+                incremental_refit: false,
+            }).unwrap();
+            let raw = solver.solve(&a, &y).unwrap();
+            let noise_power = noise * noise / 6.0;
+            let dense = prune_insignificant(&a, &y, &raw, noise_power, 3.0).unwrap();
+            let incremental =
+                prune_insignificant_incremental(&a, &y, &raw, noise_power, 3.0).unwrap();
+            prop_assert_eq!(dense.sorted_support(), incremental.sorted_support());
+            let mut dense_pairs: Vec<(usize, Complex)> =
+                dense.support.iter().copied().zip(dense.values.iter().copied()).collect();
+            let mut inc_pairs: Vec<(usize, Complex)> =
+                incremental.support.iter().copied().zip(incremental.values.iter().copied()).collect();
+            dense_pairs.sort_by_key(|&(col, _)| col);
+            inc_pairs.sort_by_key(|&(col, _)| col);
+            for ((dc, dv), (ic, iv)) in dense_pairs.iter().zip(&inc_pairs) {
+                prop_assert_eq!(dc, ic);
+                prop_assert!(
+                    (*dv - *iv).abs() < 1e-6 * (1.0 + dv.abs()),
+                    "column {}: {:?} vs {:?}", dc, dv, iv
+                );
+            }
+        }
+    }
+
     #[test]
     fn prune_insignificant_checks_dimensions_and_handles_empty() {
         let a = SparseBinaryMatrix::from_ones(3, 2, &[(0, 0), (1, 1)]).unwrap();
@@ -721,6 +968,182 @@ mod tests {
         // Out-of-range support entries are ignored.
         let clipped = sol.to_dense(2);
         assert_eq!(clipped[1], Complex::I);
+    }
+
+    /// The pre-pruner incremental solver: exhaustive correlation scan every
+    /// iteration, otherwise byte-for-byte the arithmetic of
+    /// `solve_incremental`.  The reference the pruned scan is pinned to.
+    fn solve_incremental_reference(
+        config: &OmpConfig,
+        a: &SparseBinaryMatrix,
+        y: &[Complex],
+    ) -> SparseSolution {
+        let y_energy: f64 = y.iter().map(|s| s.norm_sqr()).sum();
+        let m = a.rows();
+        let n = a.cols();
+        let mut selected = vec![false; n];
+        let mut support: Vec<usize> = Vec::new();
+        let mut values: Vec<Complex> = Vec::new();
+        let mut residual: Vec<Complex> = y.to_vec();
+        let mut chol = GrowingCholesky::new();
+        let mut rhs: Vec<Complex> = Vec::new();
+        let mut row_mark = vec![false; m];
+        for _ in 0..config.max_sparsity.min(n) {
+            let mut best: Option<(usize, f64)> = None;
+            for col in 0..n {
+                if selected[col] {
+                    continue;
+                }
+                let rows = a.col(col);
+                if rows.is_empty() {
+                    continue;
+                }
+                let corr: Complex = rows.iter().map(|&r| residual[r]).sum();
+                let score = corr.abs() / (rows.len() as f64).sqrt();
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((col, score));
+                }
+            }
+            let Some((chosen, score)) = best else { break };
+            if score <= 1e-12 {
+                break;
+            }
+            for &r in a.col(chosen) {
+                row_mark[r] = true;
+            }
+            let cross: Vec<f64> = support
+                .iter()
+                .map(|&col| a.col(col).iter().filter(|&&r| row_mark[r]).count() as f64)
+                .collect();
+            for &r in a.col(chosen) {
+                row_mark[r] = false;
+            }
+            if !chol
+                .push(&cross, a.col(chosen).len() as f64 + 1e-12)
+                .unwrap()
+            {
+                break;
+            }
+            selected[chosen] = true;
+            support.push(chosen);
+            rhs.push(a.col(chosen).iter().map(|&r| y[r]).sum());
+            values = chol.solve(&rhs).unwrap();
+            residual.copy_from_slice(y);
+            for (&col, &v) in support.iter().zip(&values) {
+                for &r in a.col(col) {
+                    residual[r] -= v;
+                }
+            }
+            let res_energy: f64 = residual.iter().map(|s| s.norm_sqr()).sum();
+            if res_energy / y_energy < config.residual_tolerance {
+                break;
+            }
+        }
+        let res_energy: f64 = residual.iter().map(|s| s.norm_sqr()).sum();
+        SparseSolution {
+            support,
+            values,
+            relative_residual: res_energy / y_energy,
+        }
+    }
+
+    proptest! {
+        /// The tentpole invariant of the pruned scan: across random sensing
+        /// problems (varying density, noise, and head-room) the pruned
+        /// incremental solver selects the exact same support, values, and
+        /// residual — bit for bit — as the exhaustive-scan solver it
+        /// replaced.  The upper bounds may only skip provably losing
+        /// columns, never change a pick.
+        #[test]
+        fn pruned_scan_matches_exhaustive_scan_bit_for_bit(
+            seed in 0u64..1_000_000,
+            n_cols in 20usize..120,
+            k in 1usize..10,
+            rows in 16usize..80,
+            noise_step in 0usize..4,
+            headroom in 0usize..3,
+        ) {
+            let noise = noise_step as f64 * 0.04;
+            let (a, y, _support, _values) = make_problem(n_cols, k.min(n_cols / 4).max(1), rows, seed, noise);
+            let config = OmpConfig {
+                max_sparsity: (k + headroom * k).max(1),
+                residual_tolerance: 1e-4,
+                incremental_refit: true,
+            };
+            let solver = OmpSolver::new(config).unwrap();
+            let pruned = solver.solve(&a, &y).unwrap();
+            let reference = solve_incremental_reference(&config, &a, &y);
+            prop_assert_eq!(&pruned.support, &reference.support);
+            let pruned_bits: Vec<(u64, u64)> =
+                pruned.values.iter().map(|v| (v.re.to_bits(), v.im.to_bits())).collect();
+            let reference_bits: Vec<(u64, u64)> =
+                reference.values.iter().map(|v| (v.re.to_bits(), v.im.to_bits())).collect();
+            prop_assert_eq!(pruned_bits, reference_bits);
+            prop_assert_eq!(
+                pruned.relative_residual.to_bits(),
+                reference.relative_residual.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_ledger_tracks_brute_force_and_rescores_one_column_per_pick() {
+        // The ledger invariant: after every refit the maintained correlation
+        // of *every* column matches a brute-force walk of its rows over the
+        // current residual (up to the recurrence's float re-association),
+        // and the exact re-scorings stay at one per selection — versus the
+        // `candidates` per selection the exhaustive scan pays.  The loop is
+        // a standalone greedy OMP driven by the ledger (least-squares refit,
+        // algebraically the solver's Cholesky refit).
+        let (a, y, support, _) = make_problem(400, 12, 120, 9, 0.02);
+        let mut residual = y.clone();
+        let mut ledger = CorrelationLedger::new(&a, &residual);
+        let mut selected = vec![false; a.cols()];
+        let mut chosen: Vec<usize> = Vec::new();
+        for _ in 0..18 {
+            let Some((col, score)) = ledger.select_exact(&a, &residual, &selected) else {
+                break;
+            };
+            if score <= 1e-12 {
+                break;
+            }
+            ledger.push_support_column(col);
+            selected[col] = true;
+            chosen.push(col);
+            let mut sub = ComplexMatrix::zeros(a.rows(), chosen.len());
+            for (j, &c) in chosen.iter().enumerate() {
+                for &r in a.col(c) {
+                    sub.set(r, j, Complex::ONE);
+                }
+            }
+            let vals = solve_least_squares(&sub, &y).unwrap();
+            let fit = sub.mul_vec(&vals).unwrap();
+            for ((res, &m), &f) in residual.iter_mut().zip(&y).zip(&fit) {
+                *res = m - f;
+            }
+            ledger.refit_applied(&vals);
+            for col in 0..a.cols() {
+                let brute: Complex = a.col(col).iter().map(|&r| residual[r]).sum();
+                let kept = ledger.corr[col];
+                assert!(
+                    (kept - brute).abs() <= 1e-9 * (1.0 + brute.abs()),
+                    "column {col} after {} picks: ledger {kept:?} vs brute {brute:?}",
+                    chosen.len()
+                );
+            }
+        }
+        for s in &support {
+            assert!(chosen.contains(s), "missed column {s}");
+        }
+        // One exact re-scoring per selection, plus the rare drift-margin
+        // tie-break double-checks — far below the exhaustive scan's
+        // `candidates` per selection.
+        assert!(
+            ledger.rescored >= chosen.len() as u64 && ledger.rescored <= 2 * chosen.len() as u64,
+            "{} exact re-scorings over {} selections",
+            ledger.rescored,
+            chosen.len()
+        );
     }
 
     #[test]
