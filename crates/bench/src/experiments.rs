@@ -641,13 +641,24 @@ pub fn fig_fading(locations: u64, base_seed: u64, threads: usize) -> ExperimentR
             "LoS fraction",
             "Buzz delivered",
             "Buzz slots",
+            "Buzz-MP delivered",
+            "Buzz-MP slots",
             "TDMA delivered",
             "CDMA delivered",
         ],
     );
     // (doppler, line-of-sight) severity sweep, mirroring the
-    // `correlated_fading` example's environments plus a static control.
-    let severities: [(f64, f64); 4] = [(0.0, 1.0), (0.01, 0.8), (0.05, 0.5), (0.08, 0.35)];
+    // `correlated_fading` example's environments plus a static control; the
+    // last two rows sit beyond the bit-flipping decoder's regime boundary
+    // and show the message-passing schedule moving it.
+    let severities: [(f64, f64); 6] = [
+        (0.0, 1.0),
+        (0.01, 0.8),
+        (0.05, 0.5),
+        (0.08, 0.35),
+        (0.12, 0.25),
+        (0.16, 0.2),
+    ];
     if locations == 0 {
         return report;
     }
@@ -656,9 +667,21 @@ pub fn fig_fading(locations: u64, base_seed: u64, threads: usize) -> ExperimentR
         ..BuzzConfig::default()
     })
     .expect("protocol");
+    // The same protocol on the soft-decision message-passing schedule with
+    // unlocked-node channel tracking ([`DecodeSchedule::MessagePassing`]):
+    // the row pair is the before/after of the fading regime boundary.
+    let buzz_mp = BuzzProtocol::new(BuzzConfig {
+        periodic_mode: true,
+        transfer: TransferConfig {
+            decode_schedule: DecodeSchedule::MessagePassing,
+            ..TransferConfig::default()
+        },
+        ..BuzzConfig::default()
+    })
+    .expect("protocol");
     let tdma = TdmaProtocol::paper_default().expect("tdma");
     let cdma = CdmaProtocol::paper_default().expect("cdma");
-    let panel: [&dyn Protocol; 3] = [&buzz, &tdma, &cdma];
+    let panel: [&dyn Protocol; 4] = [&buzz, &buzz_mp, &tdma, &cdma];
     let groups = compare(
         &panel,
         &severities,
@@ -676,6 +699,8 @@ pub fn fig_fading(locations: u64, base_seed: u64, threads: usize) -> ExperimentR
     for (&(doppler, los), cells) in severities.iter().zip(&groups) {
         let mut buzz_dec = 0.0;
         let mut buzz_slots = 0.0;
+        let mut mp_dec = 0.0;
+        let mut mp_slots = 0.0;
         let mut tdma_dec = 0.0;
         let mut cdma_dec = 0.0;
         let mut runs = 0.0;
@@ -683,20 +708,24 @@ pub fn fig_fading(locations: u64, base_seed: u64, threads: usize) -> ExperimentR
             runs += 1.0;
             buzz_dec += cell.outcome(0).delivered_messages as f64;
             buzz_slots += cell.outcome(0).slots_used as f64;
-            tdma_dec += cell.outcome(1).delivered_messages as f64;
-            cdma_dec += cell.outcome(2).delivered_messages as f64;
+            mp_dec += cell.outcome(1).delivered_messages as f64;
+            mp_slots += cell.outcome(1).slots_used as f64;
+            tdma_dec += cell.outcome(2).delivered_messages as f64;
+            cdma_dec += cell.outcome(3).delivered_messages as f64;
         }
         report.push_row(vec![
             format!("{doppler:.2}"),
             format!("{los:.2}"),
             format!("{:.2}", buzz_dec / runs),
             format!("{:.1}", buzz_slots / runs),
+            format!("{:.2}", mp_dec / runs),
+            format!("{:.1}", mp_slots / runs),
             format!("{:.2}", tdma_dec / runs),
             format!("{:.2}", cdma_dec / runs),
         ]);
     }
     report.push_finding(
-        "coherent collision decoding has a fading regime boundary; rateless slots alone cannot buy it back"
+        "bit-flipping against stale channel estimates has a fading regime boundary; soft message passing with channel tracking moves it"
             .into(),
     );
     report
@@ -1060,6 +1089,90 @@ mod tests {
         // `headline` keeps its two scheme rows (NaN means, as before the
         // sharding rework) — the guarantee here is only "no panic".
         assert_eq!(headline(0, 1, 1).rows.len(), 2);
+    }
+
+    #[test]
+    fn fig_fading_regression_pins_regime_boundary() {
+        // The seeded baseline behind the fading bugfix: the exact grid the
+        // CI `reproduce fig_fading` run records (DEFAULT_LOCATIONS, the
+        // reproduce binary's base seed).  Pinning both decoders' delivery
+        // figures turns "the regime boundary moved" from an eyeballed claim
+        // into a regression test: bit-flipping (with the dominated-slot
+        // refit) now survives to doppler 0.05, collapses to zero beyond it,
+        // and the message-passing schedule keeps delivering at every
+        // operating point past the boundary.
+        let r = fig_fading(DEFAULT_LOCATIONS, 2012, 2);
+        let expected: [&[&str]; 6] = [
+            &["0.00", "1.00", "8.00", "7.0", "8.00", "7.0", "8.00", "7.00"],
+            &["0.01", "0.80", "8.00", "7.0", "8.00", "7.0", "8.00", "7.20"],
+            &["0.05", "0.50", "8.00", "7.2", "8.00", "7.0", "8.00", "5.40"],
+            &[
+                "0.08", "0.35", "0.00", "160.0", "7.40", "38.4", "8.00", "4.20",
+            ],
+            &[
+                "0.12", "0.25", "0.00", "160.0", "7.60", "69.2", "8.00", "4.20",
+            ],
+            &[
+                "0.16", "0.20", "0.00", "160.0", "3.00", "160.0", "8.00", "4.40",
+            ],
+        ];
+        assert_eq!(r.rows.len(), expected.len());
+        for (row, want) in r.rows.iter().zip(expected) {
+            assert_eq!(row, want, "fig_fading row drifted from the pinned baseline");
+        }
+        // The acceptance criterion: strictly better delivery at >= 2
+        // operating points beyond the bit-flipping regime boundary.
+        let strictly_better = r
+            .rows
+            .iter()
+            .filter(|row| {
+                let hard: f64 = row[2].parse().unwrap();
+                let soft: f64 = row[4].parse().unwrap();
+                soft > hard
+            })
+            .count();
+        assert!(
+            strictly_better >= 2,
+            "message passing beat bit-flipping at only {strictly_better} operating points"
+        );
+    }
+
+    #[test]
+    fn message_passing_agrees_with_bit_flipping_on_paper_scale_uplinks() {
+        // Differential over the K <= 16 populations the paper figures sweep:
+        // on static channels the soft-decision schedule must deliver exactly
+        // the messages the compat (FullPass) bit-flipping decoder delivers —
+        // all of them, CRC-verified, so agreement is bit for bit.
+        for k in [2usize, 4, 8, 12, 16] {
+            let compat = buzz_periodic();
+            let soft = BuzzProtocol::new(BuzzConfig {
+                periodic_mode: true,
+                transfer: TransferConfig {
+                    decode_schedule: DecodeSchedule::MessagePassing,
+                    ..TransferConfig::default()
+                },
+                ..BuzzConfig::default()
+            })
+            .expect("protocol");
+            let seed = 9_000 + k as u64;
+            let mut scenario_a = ScenarioBuilder::paper_uplink(k, seed).build().unwrap();
+            let mut scenario_b = ScenarioBuilder::paper_uplink(k, seed).build().unwrap();
+            let hard = compat.run(&mut scenario_a, 7).unwrap();
+            let soft = soft.run(&mut scenario_b, 7).unwrap();
+            assert_eq!(hard.correct_messages, k, "bit-flipping failed at K = {k}");
+            assert_eq!(
+                soft.correct_messages, k,
+                "message passing failed at K = {k}"
+            );
+            assert_eq!(soft.incorrect_messages, 0, "wrong lock at K = {k}");
+        }
+    }
+
+    #[test]
+    fn fig_fading_matches_across_thread_counts() {
+        let serial = fig_fading(2, 77, 1);
+        let parallel = fig_fading(2, 77, 4);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]

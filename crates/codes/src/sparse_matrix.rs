@@ -255,6 +255,22 @@ impl SparseBinaryMatrix {
         &self.row_cols[self.row_ptr[row]..self.row_ptr[row + 1]]
     }
 
+    /// The half-open range of flat CSR offsets backing [`Self::row`]: entry
+    /// `e ∈ row_range(row)` is edge `e` of the matrix, and
+    /// `row(row)[e - row_range(row).start]` is its column.  Rows appended
+    /// with [`Self::push_row`] never move earlier rows' storage, so these
+    /// edge offsets are stable identifiers in append-only (rateless) use —
+    /// incremental decoders key per-edge state on them.  Mutating an
+    /// *existing* entry with [`Self::set`] shifts later offsets and
+    /// invalidates them.  Out-of-range rows return an empty range.
+    #[must_use]
+    pub fn row_range(&self, row: usize) -> core::ops::Range<usize> {
+        if row >= self.rows {
+            return 0..0;
+        }
+        self.row_ptr[row]..self.row_ptr[row + 1]
+    }
+
     /// The row indices holding a 1 in `col` (the slots a node participates
     /// in), sorted ascending.  Out-of-range columns return an empty slice.
     #[must_use]
@@ -475,6 +491,28 @@ mod tests {
         assert_eq!(m.col(0), &[0, 1]);
         assert_eq!(m.nnz(), 4);
         assert!(SparseBinaryMatrix::from_ones(2, 2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn row_range_tracks_flat_offsets_across_push_row() {
+        let mut m = SparseBinaryMatrix::zeros(0, 4);
+        m.push_row(&[0, 2]).unwrap();
+        m.push_row(&[]).unwrap();
+        m.push_row(&[1, 2, 3]).unwrap();
+        assert_eq!(m.row_range(0), 0..2);
+        assert_eq!(m.row_range(1), 2..2);
+        assert_eq!(m.row_range(2), 2..5);
+        assert_eq!(m.row_range(7), 0..0);
+        // Appending never moves earlier rows' edge offsets.
+        let before: Vec<_> = (0..3).map(|r| m.row_range(r)).collect();
+        m.push_row(&[0, 3]).unwrap();
+        for (r, range) in before.into_iter().enumerate() {
+            assert_eq!(m.row_range(r), range);
+            let seg = m.row(r);
+            assert_eq!(seg.len(), range.len());
+        }
+        assert_eq!(m.row_range(3), 5..7);
+        assert_eq!(m.nnz(), 7);
     }
 
     #[test]

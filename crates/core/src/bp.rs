@@ -89,27 +89,37 @@ pub enum DecodeSchedule {
     /// schedule at K = 100+, and the default since the K = 300 scale-up.
     #[default]
     Worklist,
+    /// Soft-decision message passing (see [`crate::mp`]): damped
+    /// check-node / bit-node updates over the same sparse participation
+    /// graph, per-position LLRs derived from the complex slot residuals, and
+    /// confidence-weighted channel tracking for *unlocked* nodes.  Same
+    /// determinism contract as the other schedules.  This is the schedule
+    /// that survives correlated fading — hard bit-flipping against stale
+    /// slot-0 channel estimates collapses once fades decorrelate, while the
+    /// soft decoder keeps tracking the channel through its best-guess
+    /// frames.
+    MessagePassing,
 }
 
 /// The reader's incremental collision decoder.
 #[derive(Debug, Clone)]
 pub struct BitFlippingDecoder {
     /// Estimated channel coefficient per node (column order of `D`).
-    channels: Vec<Complex>,
+    pub(crate) channels: Vec<Complex>,
     /// Framed message length in bits (payload + CRC).
-    message_bits: usize,
+    pub(crate) message_bits: usize,
     /// Participation matrix accumulated so far (`L × K`), with the
     /// per-node neighbour index enabled.
-    d: SparseBinaryMatrix,
+    pub(crate) d: SparseBinaryMatrix,
     /// Received symbols: `y[slot][bit position]`.
-    y: Vec<Vec<Complex>>,
+    pub(crate) y: Vec<Vec<Complex>>,
     /// Locked (CRC-verified) framed messages per node.
-    locked: Vec<Option<Vec<bool>>>,
+    pub(crate) locked: Vec<Option<Vec<bool>>>,
     /// The reader's estimate of the per-symbol noise power (measured on
     /// silence before the phase starts).  Used to gate CRC locking with a
     /// goodness-of-fit check — a 5-bit CRC alone is too weak against the many
     /// garbage candidates an incremental decoder produces.
-    noise_power: f64,
+    pub(crate) noise_power: f64,
     /// Each unlocked node's candidate frame at the end of the previous
     /// [`BitFlippingDecoder::decode`] call, together with how many slots the
     /// node had participated in at that point and how many consecutive
@@ -129,6 +139,10 @@ pub struct BitFlippingDecoder {
     /// Persistent per-position state for [`DecodeSchedule::Worklist`], built
     /// lazily on the first worklist decode.
     worklist: Option<Box<WorklistState>>,
+    /// Persistent per-edge message state for
+    /// [`DecodeSchedule::MessagePassing`], built lazily on the first
+    /// message-passing decode.
+    pub(crate) mp: Option<Box<crate::mp::MessagePassingState>>,
     /// Diagnostics/verification knob: when set, the worklist schedule visits
     /// every position each pass instead of only the dirty ones.  Skipping is
     /// designed to be a no-op, and the differential tests pin that by
@@ -707,17 +721,19 @@ impl BitFlippingDecoder {
             participant_scratch: Vec::with_capacity(k),
             schedule: DecodeSchedule::default(),
             worklist: None,
+            mp: None,
             force_full_worklist: false,
         })
     }
 
     /// Selects the decode schedule (builder style).  Switching schedules
-    /// discards any persistent worklist state, so the next decode starts the
-    /// new schedule from a clean slate.
+    /// discards any persistent worklist or message-passing state, so the next
+    /// decode starts the new schedule from a clean slate.
     #[must_use]
     pub fn with_schedule(mut self, schedule: DecodeSchedule) -> Self {
         if self.schedule != schedule {
             self.worklist = None;
+            self.mp = None;
         }
         self.schedule = schedule;
         self
@@ -761,6 +777,16 @@ impl BitFlippingDecoder {
                 .map(|c| c.evaluations)
                 .sum()
         })
+    }
+
+    /// Cumulative number of message-passing sweeps performed across all
+    /// decode calls (`None` before the first message-passing decode, or under
+    /// the bit-flipping schedules).  Sweep counts derive only from decoder
+    /// state, so for a fixed seed and slot stream they are the observable
+    /// behind the schedule's determinism contract.
+    #[must_use]
+    pub fn message_passing_sweeps(&self) -> Option<u64> {
+        self.mp.as_deref().map(|mp| mp.sweeps())
     }
 
     /// Number of nodes.
@@ -822,6 +848,7 @@ impl BitFlippingDecoder {
         match self.schedule {
             DecodeSchedule::FullPass => self.decode_full_pass(),
             DecodeSchedule::Worklist => self.decode_worklist(),
+            DecodeSchedule::MessagePassing => self.decode_message_passing(),
         }
     }
 
@@ -857,7 +884,7 @@ impl BitFlippingDecoder {
             }
             let per_slot_residual: Vec<f64> = slot_power.iter().map(|&t| t / p as f64).collect();
 
-            let locked_now = self.lock_pass(&frames, &per_slot_residual, &mut newly_decoded);
+            let locked_now = self.lock_pass(&frames, &per_slot_residual, 0, &mut newly_decoded);
             let all_locked = self.locked.iter().all(Option::is_some);
             if locked_now.is_empty() || all_locked {
                 break;
@@ -872,7 +899,7 @@ impl BitFlippingDecoder {
         // estimation error the identification phase left behind.  The improved
         // estimates take effect on the next decode call.
         if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
-            self.reestimate_channels();
+            self.reestimate_channels(None);
         }
 
         Ok(DecodeState {
@@ -966,7 +993,7 @@ impl BitFlippingDecoder {
 
             let per_slot_residual: Vec<f64> =
                 wl.slot_power_total.iter().map(|&t| t / p as f64).collect();
-            let locked_now = self.lock_pass(&wl.frames, &per_slot_residual, &mut newly_decoded);
+            let locked_now = self.lock_pass(&wl.frames, &per_slot_residual, 0, &mut newly_decoded);
             if !locked_now.is_empty() {
                 self.apply_locks_to_worklist(&mut wl, &locked_now);
             }
@@ -992,7 +1019,7 @@ impl BitFlippingDecoder {
         // (dirtying the affected positions) so the next call descends from a
         // consistent ledger.
         if !self.locked.iter().all(Option::is_some) && self.d.rows() >= 3 {
-            let changes = self.reestimate_channels();
+            let changes = self.reestimate_channels(Some(&wl.frames));
             self.apply_channel_changes_to_worklist(&mut wl, &changes);
         }
 
@@ -1087,6 +1114,50 @@ impl BitFlippingDecoder {
         let Some((_, node)) = worst else {
             return;
         };
+        // Before the node re-enters descent, refresh its channel estimate
+        // from its *clean* slots (all co-participants locked, so each symbol
+        // is a direct measurement once the others' verified contributions
+        // are subtracted).  Under time-varying channels the common reason a
+        // correct lock turns implausible is a stale channel estimate — an
+        // erasure that re-descends against the same stale estimate would
+        // re-derive the same wrong bits it just erased.  The refit runs
+        // while the node is still locked so the delta can propagate through
+        // the persistent states via the locked frame.
+        let frame = self.locked[node].clone().expect("worst offender is locked");
+        let mut numerator = Complex::ZERO;
+        let mut observations = 0.0f64;
+        for &j in self.d.col(node) {
+            let cols = self.d.row(j);
+            if cols.iter().any(|&i| i != node && self.locked[i].is_none()) {
+                continue;
+            }
+            for (pos, &bit) in frame.iter().enumerate() {
+                if !bit {
+                    continue;
+                }
+                let mut sample = self.y[j][pos];
+                for &i in cols {
+                    if i == node {
+                        continue;
+                    }
+                    if self.locked[i].as_ref().is_some_and(|f| f[pos]) {
+                        sample -= self.channels[i];
+                    }
+                }
+                numerator += sample;
+                observations += 1.0;
+            }
+        }
+        if observations >= (p / 2) as f64 {
+            let candidate = numerator / observations;
+            if candidate.is_finite() {
+                let delta = candidate - self.channels[node];
+                if delta.re != 0.0 || delta.im != 0.0 {
+                    self.channels[node] = candidate;
+                    self.apply_channel_changes_to_worklist(wl, &[(node, delta)]);
+                }
+            }
+        }
         self.locked[node] = None;
         self.previous_candidates[node] = None;
         wl.lock_rows[node] = usize::MAX;
@@ -1149,10 +1220,19 @@ impl BitFlippingDecoder {
     /// The CRC alone (5 bits) is too weak against the many garbage candidates
     /// an incremental decoder produces, and a false lock would poison all
     /// subsequent decoding.
-    fn lock_pass(
+    ///
+    /// `window_start` restricts every residual/evidence computation to slots
+    /// `j ≥ window_start`.  The bit-flipping schedules pass `0` (all slots,
+    /// byte-identical to the historical gates); the message-passing schedule
+    /// passes its sliding-window start, because under time-varying channels
+    /// old slots were received through a *different* channel than the current
+    /// estimate models, and judging a candidate on their residuals would
+    /// reject every correct frame once fades decorrelate.
+    pub(crate) fn lock_pass(
         &mut self,
         frames: &[Vec<bool>],
         per_slot_residual: &[f64],
+        window_start: usize,
         newly_decoded: &mut Vec<usize>,
     ) -> Vec<usize> {
         let k = self.channels.len();
@@ -1164,6 +1244,15 @@ impl BitFlippingDecoder {
             if !matches!(Message::verify(&frames[node]), Ok(Some(_))) {
                 continue;
             }
+            // The windowed view of the node's participations (identical to
+            // the full column when `window_start == 0`; columns are sorted).
+            let windowed_slots: Vec<usize> = self
+                .d
+                .col(node)
+                .iter()
+                .copied()
+                .filter(|&j| j >= window_start)
+                .collect();
             // A node observed in only one or two slots shared with other
             // *unlocked* nodes is underdetermined: overfit assignments
             // explain the data exactly, and a 5-bit CRC passes by luck for
@@ -1178,16 +1267,19 @@ impl BitFlippingDecoder {
             // per-call candidate jitter makes persistent overfit luck much
             // rarer.
             const MIN_WORKLIST_LOCK_EVIDENCE: usize = 3;
-            if self.schedule == DecodeSchedule::Worklist {
-                let clean_observations = !self.d.col(node).is_empty()
-                    && self.d.col(node).iter().all(|&j| {
+            if matches!(
+                self.schedule,
+                DecodeSchedule::Worklist | DecodeSchedule::MessagePassing
+            ) {
+                let clean_observations = !windowed_slots.is_empty()
+                    && windowed_slots.iter().all(|&j| {
                         self.d
                             .row(j)
                             .iter()
                             .all(|&i| i == node || self.locked[i].is_some())
                     });
                 if !clean_observations {
-                    if self.d.col(node).len() < MIN_WORKLIST_LOCK_EVIDENCE {
+                    if windowed_slots.len() < MIN_WORKLIST_LOCK_EVIDENCE {
                         continue;
                     }
                     // Overfit-pressure floor: while the unlocked population
@@ -1204,19 +1296,18 @@ impl BitFlippingDecoder {
                     }
                 }
             }
-            let fit_ok = self.fit_is_plausible(node, per_slot_residual);
+            let fit_ok = self.fit_is_plausible(node, per_slot_residual, window_start);
             // The stability path tolerates a residual floor above the noise
             // (unmodelled interference, imperfect channel estimates) but
             // still insists that the node's *own* signal is mostly explained
             // — a wrong frame leaves ≈|h|² of unexplained energy in the
             // node's slots and is rejected regardless of how stable it looks.
-            let slots_of_node = self.d.col(node);
-            let own_fit_ok = !slots_of_node.is_empty() && {
-                let mean_residual: f64 = slots_of_node
+            let own_fit_ok = !windowed_slots.is_empty() && {
+                let mean_residual: f64 = windowed_slots
                     .iter()
                     .map(|&j| per_slot_residual[j])
                     .sum::<f64>()
-                    / slots_of_node.len() as f64;
+                    / windowed_slots.len() as f64;
                 mean_residual <= 0.5 * self.channels[node].norm_sqr() + 4.0 * self.noise_power
             };
             // FullPass candidates jitter from call to call until they are
@@ -1227,7 +1318,7 @@ impl BitFlippingDecoder {
             // as evidence of correctness rather than of persistence.
             let required_streak = match self.schedule {
                 DecodeSchedule::FullPass => 1,
-                DecodeSchedule::Worklist => 8,
+                DecodeSchedule::Worklist | DecodeSchedule::MessagePassing => 8,
             };
             let stable_ok = own_fit_ok
                 && match &self.previous_candidates[node] {
@@ -1249,7 +1340,7 @@ impl BitFlippingDecoder {
 
     /// Remembers the still-unlocked candidates so the next decode call (after
     /// new slots arrive) can apply the stability gate.
-    fn snapshot_candidates(&mut self, frames: &[Vec<bool>]) {
+    pub(crate) fn snapshot_candidates(&mut self, frames: &[Vec<bool>]) {
         for node in 0..self.channels.len() {
             if self.locked[node].is_some() {
                 continue;
@@ -1274,7 +1365,7 @@ impl BitFlippingDecoder {
     }
 
     /// The locked payloads (CRC stripped), `None` for undecoded nodes.
-    fn decoded_payloads(&self) -> Vec<Option<Vec<bool>>> {
+    pub(crate) fn decoded_payloads(&self) -> Vec<Option<Vec<bool>>> {
         self.locked
             .iter()
             .map(|l| l.as_ref().map(|f| f[..f.len() - 5].to_vec()))
@@ -1288,24 +1379,40 @@ impl BitFlippingDecoder {
     /// the slots containing only locked nodes over-determine those nodes'
     /// channels.  Replacing the (noisier) identification-phase estimates with
     /// this refit sharpens the interference cancellation that still-undecoded
-    /// nodes depend on.  Slots containing any unlocked node are excluded so a
-    /// wrong candidate can never distort the refit.
+    /// nodes depend on.
+    ///
+    /// Slot eligibility depends on `candidates`:
+    ///
+    /// * `None` (the `FullPass` compat path, byte-identical to the historical
+    ///   refit): only slots whose participants are *all* locked contribute, so
+    ///   the refit silently does nothing until a fully-locked slot exists —
+    ///   even when most of the population is locked.
+    /// * `Some(frames)`: slots where locked participants strictly outnumber
+    ///   unlocked ones also contribute, with the unlocked participants'
+    ///   interference subtracted from the right-hand side via their current
+    ///   best-guess candidate frames and channel estimates.  The system is
+    ///   still solved for locked nodes only, so a wrong candidate can bias a
+    ///   refit but never directly rewrite an unlocked node's channel.
     ///
     /// Returns the applied updates as `(node, new − old)` deltas so the
     /// worklist schedule can propagate them into its persistent states.
-    fn reestimate_channels(&mut self) -> Vec<(usize, Complex)> {
+    fn reestimate_channels(&mut self, candidates: Option<&[Vec<bool>]>) -> Vec<(usize, Complex)> {
         let k = self.channels.len();
         let p = self.message_bits;
-        let locked_only_slots: Vec<usize> = (0..self.d.rows())
-            .filter(|&j| self.d.row(j).iter().all(|&i| self.locked[i].is_some()))
+        let eligible_slots: Vec<usize> = (0..self.d.rows())
+            .filter(|&j| {
+                let row = self.d.row(j);
+                let unlocked = row.iter().filter(|&&i| self.locked[i].is_none()).count();
+                unlocked == 0 || (candidates.is_some() && 2 * unlocked < row.len())
+            })
             .collect();
-        if locked_only_slots.is_empty() {
+        if eligible_slots.is_empty() {
             return Vec::new();
         }
         let involved: Vec<usize> = (0..k)
             .filter(|&i| {
                 self.locked[i].is_some()
-                    && locked_only_slots
+                    && eligible_slots
                         .iter()
                         .any(|&j| self.d.col(i).binary_search(&j).is_ok())
             })
@@ -1324,20 +1431,34 @@ impl BitFlippingDecoder {
         let mut gram = sparse_recovery::linalg::ComplexMatrix::zeros(n, n);
         let mut gram_real = vec![vec![0.0f64; n]; n];
         let mut rhs = vec![Complex::ZERO; n];
-        for &j in &locked_only_slots {
+        for &j in &eligible_slots {
             let cols = self.d.row(j);
+            let has_unlocked = cols.iter().any(|&i| self.locked[i].is_none());
             for pos in 0..p {
                 let active: Vec<usize> = cols
                     .iter()
                     .copied()
                     .filter(|&i| self.locked[i].as_ref().is_some_and(|frame| frame[pos]))
                     .collect();
+                // Best-guess interference of the (minority) unlocked
+                // participants; zero on locked-only slots, keeping the
+                // `FullPass` compat path bit-identical.
+                let mut observation = self.y[j][pos];
+                if has_unlocked {
+                    if let Some(frames) = candidates {
+                        for &i in cols {
+                            if self.locked[i].is_none() && frames[i][pos] {
+                                observation -= self.channels[i];
+                            }
+                        }
+                    }
+                }
                 for &i in &active {
                     let ii = index_of_node[i];
                     if ii == usize::MAX {
                         continue;
                     }
-                    rhs[ii] += self.y[j][pos];
+                    rhs[ii] += observation;
                     for &l in &active {
                         let ll = index_of_node[l];
                         if ll != usize::MAX {
@@ -1382,10 +1503,22 @@ impl BitFlippingDecoder {
     /// the node's own signal power.  A node whose candidate bits are wrong
     /// leaves roughly `|h|²` of unexplained energy in its slots and fails the
     /// check.
-    fn fit_is_plausible(&self, node: usize, per_slot_residual: &[f64]) -> bool {
-        let slots = self.d.col(node);
+    fn fit_is_plausible(
+        &self,
+        node: usize,
+        per_slot_residual: &[f64],
+        window_start: usize,
+    ) -> bool {
+        let slots: Vec<usize> = self
+            .d
+            .col(node)
+            .iter()
+            .copied()
+            .filter(|&j| j >= window_start)
+            .collect();
         if slots.is_empty() {
-            // The node never transmitted yet: any CRC match is accidental.
+            // The node never transmitted yet (in the window): any CRC match
+            // is accidental.
             return false;
         }
         let mean_residual: f64 =

@@ -48,7 +48,10 @@
 //! ([`bp::DecodeSchedule::Worklist`]); pin
 //! [`bp::DecodeSchedule::FullPass`] through
 //! [`transfer::TransferConfig::decode_schedule`] to reproduce historical
-//! (pre-worklist) runs bit for bit.
+//! (pre-worklist) runs bit for bit, or select
+//! [`bp::DecodeSchedule::MessagePassing`] ([`mp`]) for the soft-decision
+//! decoder with channel tracking that survives time-varying (fading)
+//! channels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +60,7 @@ pub mod bp;
 pub mod identification;
 pub mod max_tracker;
 pub mod metrics;
+pub mod mp;
 pub mod protocol;
 pub mod rateless;
 pub mod session;

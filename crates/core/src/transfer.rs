@@ -36,10 +36,12 @@ pub struct TransferConfig {
     /// Air-interface timing used for transfer-time accounting.
     pub timing: LinkTiming,
     /// How the reader's decoder schedules its per-position work.  The
-    /// default ([`DecodeSchedule::FullPass`]) is byte-identical to the
-    /// historical decoder; large populations (K ≳ 32) should select
-    /// [`DecodeSchedule::Worklist`], which only revisits perturbed positions
-    /// as slots arrive.
+    /// default ([`DecodeSchedule::Worklist`]) only revisits perturbed
+    /// positions as slots arrive; [`DecodeSchedule::FullPass`] is the
+    /// byte-identical compat pin for historical runs; and
+    /// [`DecodeSchedule::MessagePassing`] is the soft-decision decoder with
+    /// channel tracking for time-varying (fading) channels — see
+    /// [`crate::mp`] for when each paradigm wins.
     pub decode_schedule: DecodeSchedule,
 }
 
