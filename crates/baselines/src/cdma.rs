@@ -145,13 +145,37 @@ impl CdmaTransfer {
             })
             .collect();
 
-        // Receive the superposed chip stream.
+        // Receive the superposed chip stream.  Faults index bit periods: a
+        // reset tag goes silent for the rest of the frame, frame noise scales
+        // that period's chips, an erased period is captured but unusable at
+        // the reader, and a reader restart mid-frame loses the whole
+        // despreading buffer (CDMA has no per-period feedback, so
+        // `feedback_lost` does not apply).
         let mut received = Vec::with_capacity(total_chips);
+        let mut erased_periods = vec![false; framed_bits];
+        let mut restart_lost = false;
+        let mut period_noise_factor = 1.0;
         for chip_idx in 0..total_chips {
             // Each bit period (one code length) is one "slot" for scenario
             // dynamics (no-op on static media).
             if chip_idx % sf == 0 {
-                medium.begin_slot((chip_idx / sf) as u64);
+                let period = (chip_idx / sf) as u64;
+                medium.begin_slot(period);
+                period_noise_factor = 1.0;
+                if let Some(f) = medium.slot_faults(period) {
+                    for &t in &f.tags_reset {
+                        if t < k {
+                            for chip in &mut chip_streams[t][chip_idx..] {
+                                *chip = false;
+                            }
+                        }
+                    }
+                    erased_periods[chip_idx / sf] = f.collision_erased;
+                    period_noise_factor = f.noise_power_factor;
+                    if f.reader_restart {
+                        restart_lost = true;
+                    }
+                }
             }
             let elapsed_us = chip_idx as f64 * chip_us;
             let weights: Vec<f64> = (0..k)
@@ -168,7 +192,8 @@ impl CdmaTransfer {
                     ((1.0 - f) * current + f * previous).clamp(0.0, 1.0)
                 })
                 .collect();
-            received.push(medium.observe_fractional(&weights)?);
+            received
+                .push(medium.observe_fractional_with_noise_factor(&weights, period_noise_factor)?);
         }
 
         // The OOK mapping leaves a data-dependent common term on every chip
@@ -177,29 +202,45 @@ impl CdmaTransfer {
         // removes it before despreading, as a practical carrier-cancellation
         // stage would; the estimate is only approximate, which is one of the
         // reasons OOK-CDMA underperforms textbook antipodal CDMA.
-        let dc_estimate: Complex =
-            received.iter().copied().sum::<Complex>() / received.len() as f64;
+        // Erased periods never reach the despreader, so they are excluded
+        // from the baseline estimate too.
+        let usable_chips: Vec<usize> = (0..total_chips)
+            .filter(|&c| !erased_periods[c / sf])
+            .collect();
+        let dc_estimate: Complex = if usable_chips.is_empty() {
+            Complex::ZERO
+        } else {
+            usable_chips.iter().map(|&c| received[c]).sum::<Complex>() / usable_chips.len() as f64
+        };
 
         // Despread each tag: correlate with its Walsh code per bit period.
         // A "1" bit yields a correlation of ≈ h·SF/2; a "0" bit yields ≈ 0, so
         // the standard decoder thresholds the projection onto the (known)
         // channel at the midpoint |h|²·SF/4.
         let mut delivered = vec![false; k];
-        for (i, tag) in tags.iter().enumerate() {
-            let code = walsh.chips(i)?;
-            let h = tag.channel.coefficient;
-            let threshold = h.norm_sqr() * sf as f64 / 4.0;
-            let mut decoded = Vec::with_capacity(framed_bits);
-            for bit_idx in 0..framed_bits {
-                let start = bit_idx * sf;
-                let correlation: Complex = (0..sf)
-                    .map(|c| (received[start + c] - dc_estimate) * f64::from(code[c]))
-                    .sum();
-                let projected = (correlation * h.conj()).re;
-                decoded.push(projected > threshold);
-            }
-            if let Ok(Some(message)) = Message::verify(&decoded) {
-                delivered[i] = message.payload() == tag.message.payload();
+        if !restart_lost {
+            for (i, tag) in tags.iter().enumerate() {
+                let code = walsh.chips(i)?;
+                let h = tag.channel.coefficient;
+                let threshold = h.norm_sqr() * sf as f64 / 4.0;
+                let mut decoded = Vec::with_capacity(framed_bits);
+                for bit_idx in 0..framed_bits {
+                    if erased_periods[bit_idx] {
+                        // No usable chips for this bit: the correlation is
+                        // zero and the threshold test fails.
+                        decoded.push(false);
+                        continue;
+                    }
+                    let start = bit_idx * sf;
+                    let correlation: Complex = (0..sf)
+                        .map(|c| (received[start + c] - dc_estimate) * f64::from(code[c]))
+                        .sum();
+                    let projected = (correlation * h.conj()).re;
+                    decoded.push(projected > threshold);
+                }
+                if let Ok(Some(message)) = Message::verify(&decoded) {
+                    delivered[i] = message.payload() == tag.message.payload();
+                }
             }
         }
 
@@ -317,6 +358,62 @@ mod tests {
             "CDMA lost {cdma_lost}/{total} but TDMA lost {tdma_lost}/{total}"
         );
         assert!(cdma_lost > 0, "CDMA lost nothing even at 3 dB median SNR");
+    }
+
+    #[test]
+    fn faults_corrupt_the_shared_frame() {
+        use backscatter_sim::faults::{ReaderRestart, SlotErasure, TagDropout};
+
+        // Zero-rate fault plan: byte-identical to the fault-free run.
+        let clean = |faulted: bool| {
+            let mut builder = ScenarioBuilder::paper_uplink(4, 17);
+            if faulted {
+                builder = builder.fault(SlotErasure::new(0.0).unwrap());
+            }
+            let scenario = builder.build().unwrap();
+            let mut medium = scenario.medium(3).unwrap();
+            CdmaTransfer::new(CdmaConfig::default())
+                .unwrap()
+                .run(scenario.tags(), &mut medium)
+                .unwrap()
+        };
+        assert_eq!(clean(false), clean(true));
+
+        // A reader restart mid-frame loses the whole despreading buffer.
+        let scenario = ScenarioBuilder::paper_uplink(4, 17)
+            .fault(ReaderRestart::new(10))
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(3).unwrap();
+        let out = CdmaTransfer::new(CdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert_eq!(out.delivered_count(), 0);
+
+        // Total erasure: every bit period is unusable, nothing delivers.
+        let scenario = ScenarioBuilder::paper_uplink(4, 17)
+            .fault(SlotErasure::new(1.0).unwrap())
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(3).unwrap();
+        let out = CdmaTransfer::new(CdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert_eq!(out.delivered_count(), 0);
+
+        // A certain early dropout silences every tag's remaining chips.
+        let scenario = ScenarioBuilder::paper_uplink(4, 17)
+            .fault(TagDropout::new(1.0, 1).unwrap())
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(3).unwrap();
+        let out = CdmaTransfer::new(CdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert_eq!(out.delivered_count(), 0);
     }
 
     #[test]

@@ -89,11 +89,51 @@ impl TdmaTransfer {
         let mut per_tag_active_s = vec![0.0; tags.len()];
         let mut time_s = 0.0;
 
-        for (i, tag) in tags.iter().enumerate() {
+        // Poll worklist: index order, with one restart-driven re-poll of the
+        // whole population (a restarted reader has lost its inventory
+        // records, so it starts the round over).  `slot` is the global poll
+        // counter that scenario dynamics and fault plans index.
+        let mut queue: Vec<usize> = (0..tags.len()).collect();
+        let mut qi = 0usize;
+        let mut slot: u64 = 0;
+        let mut restarted = false;
+        let mut tag_dead = vec![false; tags.len()];
+
+        while qi < queue.len() {
+            let i = queue[qi];
+            let tag = &tags[i];
             // Each tag's polling round is one "slot" for scenario dynamics
             // (no-op on static media).
-            medium.begin_slot(i as u64);
+            medium.begin_slot(slot);
+            let faults = medium.slot_faults(slot);
+            slot += 1;
+            if let Some(f) = &faults {
+                for &t in &f.tags_reset {
+                    if t < tag_dead.len() {
+                        tag_dead[t] = true;
+                    }
+                }
+                if f.reader_restart && !restarted {
+                    restarted = true;
+                    delivered.fill(false);
+                    queue = (0..tags.len()).collect();
+                    qi = 0;
+                    time_s += self.config.timing.t2_s;
+                    continue;
+                }
+            }
+            qi += 1;
             let framed = tag.message.framed();
+            let duration_s = framed.len() as f64 / bit_rate;
+            // A lost poll command or a browned-out tag wastes the reserved
+            // slot: time passes, nothing is on the air.  (`collision_erased`
+            // models frame-sync loss on superposed collisions and does not
+            // affect these singleton replies.)
+            if faults.as_ref().is_some_and(|f| f.feedback_lost) || tag_dead[i] {
+                time_s += duration_s + self.config.timing.t2_s;
+                continue;
+            }
+            let noise_factor = faults.as_ref().map_or(1.0, |f| f.noise_power_factor);
             let chips = self.code.encode(&framed);
             let h = tag.channel.coefficient;
 
@@ -105,12 +145,13 @@ impl TdmaTransfer {
             for &chip in &chips {
                 let mut bits = vec![false; tags.len()];
                 bits[i] = chip;
-                let mut y = medium.observe(&bits)?;
+                let mut y = medium.observe_with_noise_factor(&bits, noise_factor)?;
                 if noise_scale > 1.0 {
                     let extra = medium.noise_power() * (noise_scale - 1.0);
                     // Draw the extra noise through the medium's own source by
                     // scaling an independent observation of silence.
-                    let silence = medium.observe(&vec![false; tags.len()])?;
+                    let silence =
+                        medium.observe_with_noise_factor(&vec![false; tags.len()], noise_factor)?;
                     y += silence * (extra / medium.noise_power().max(f64::MIN_POSITIVE)).sqrt();
                 }
                 received.push(y);
@@ -149,10 +190,9 @@ impl TdmaTransfer {
                 delivered[i] = message.payload() == tag.message.payload();
             }
 
-            let duration_s = framed.len() as f64 / bit_rate;
             time_s += duration_s + self.config.timing.t2_s;
-            per_tag_active_s[i] = duration_s;
-            per_tag_transitions[i] =
+            per_tag_active_s[i] += duration_s;
+            per_tag_transitions[i] +=
                 (framed.len() as f64 * self.code.transitions_per_bit()).round() as u64;
         }
 
@@ -242,6 +282,66 @@ mod tests {
             any_loss,
             "TDMA never lost a message even at 0 dB median SNR"
         );
+    }
+
+    #[test]
+    fn faults_degrade_polls_and_a_restart_repolls_once() {
+        use backscatter_sim::faults::{FeedbackLoss, ReaderRestart, TagDropout};
+
+        // Zero-rate fault plan: byte-identical to the fault-free run.
+        let clean = |faulted: bool| {
+            let mut builder = ScenarioBuilder::paper_uplink(4, 15);
+            if faulted {
+                builder = builder.fault(FeedbackLoss::new(0.0).unwrap());
+            }
+            let scenario = builder.build().unwrap();
+            let mut medium = scenario.medium(2).unwrap();
+            TdmaTransfer::new(TdmaConfig::default())
+                .unwrap()
+                .run(scenario.tags(), &mut medium)
+                .unwrap()
+        };
+        assert_eq!(clean(false), clean(true));
+
+        // Every poll command lost: nothing is delivered, but time passed.
+        let scenario = ScenarioBuilder::paper_uplink(4, 15)
+            .fault(FeedbackLoss::new(1.0).unwrap())
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(2).unwrap();
+        let out = TdmaTransfer::new(TdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert_eq!(out.delivered_count(), 0);
+        assert!(out.time_ms > 0.0);
+
+        // A reader restart at poll 2 re-polls the whole population once and
+        // still delivers everything in good channels.
+        let scenario = ScenarioBuilder::paper_uplink(4, 15)
+            .fault(ReaderRestart::new(2))
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(2).unwrap();
+        let out = TdmaTransfer::new(TdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert_eq!(out.delivered_count(), 4);
+        // The re-polled tags transmitted twice.
+        assert!(out.per_tag_transitions.iter().any(|&t| t > 296));
+
+        // A certain dropout before the first poll silences every tag.
+        let scenario = ScenarioBuilder::paper_uplink(3, 15)
+            .fault(TagDropout::new(1.0, 1).unwrap())
+            .build()
+            .unwrap();
+        let mut medium = scenario.medium(2).unwrap();
+        let out = TdmaTransfer::new(TdmaConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &mut medium)
+            .unwrap();
+        assert!(out.delivered_count() < 3);
     }
 
     #[test]

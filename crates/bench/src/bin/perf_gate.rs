@@ -14,10 +14,11 @@
 //!
 //! The gate prints a markdown table (and appends it to `--summary` when
 //! given — CI passes `$GITHUB_STEP_SUMMARY`), then exits non-zero if any
-//! entry regressed.  Entries present on only one side are reported but do
-//! not fail the gate *unless* a baseline entry is missing from the bench
-//! output entirely (a silently dropped benchmark would otherwise disarm
-//! the gate for good).
+//! entry regressed.  Entries present on only one side also fail the gate:
+//! a baseline entry missing from the bench output means a benchmark was
+//! silently dropped (which would disarm the gate for good), and a measured
+//! entry missing from the baseline means a new benchmark landed without a
+//! recorded reference — re-record the baseline to admit it.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -163,9 +164,10 @@ fn render_markdown(
     }
     for m in measured {
         if !rows.iter().any(|(id, _, _)| id == &m.id) {
+            failed = true;
             let _ = writeln!(
                 out,
-                "| `{}` | — | {:.3} | — | ⚠️ not in baseline (re-record it) |",
+                "| `{}` | — | {:.3} | — | ❌ not in baseline (re-record it) |",
                 m.id, m.mean_ms
             );
         }
@@ -314,7 +316,7 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
     }
 
     #[test]
-    fn missing_baseline_entry_fails_and_new_entry_warns() {
+    fn missing_baseline_entry_fails_and_new_entry_fails() {
         let baseline = parse_baseline(BASELINE);
         let measured = vec![Entry {
             id: "decoders_large_k/brand_new/32".into(),
@@ -325,6 +327,37 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
         let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
         assert!(failed);
         assert!(markdown.contains("missing from bench output"));
-        assert!(markdown.contains("not in baseline"));
+        assert!(markdown.contains("❌ not in baseline"));
+    }
+
+    #[test]
+    fn unrecorded_measured_entry_alone_fails_the_gate() {
+        // Even when every baseline entry is within the gate, a measured
+        // entry with no recorded reference must fail until re-recorded.
+        let baseline = parse_baseline(BASELINE);
+        let mut measured = vec![
+            Entry {
+                id: "decoders_large_k/session_full_pass/64".into(),
+                mean_ms: 127.705,
+            },
+            Entry {
+                id: "decoders_large_k/session_worklist/64".into(),
+                mean_ms: 24.613,
+            },
+        ];
+        let rows = gate(&baseline, &measured, 1.5);
+        let (_, failed) = render_markdown(&rows, &measured, 1.5);
+        assert!(!failed);
+
+        measured.push(Entry {
+            id: "decoders_large_k/brand_new/32".into(),
+            mean_ms: 1.0,
+        });
+        let rows = gate(&baseline, &measured, 1.5);
+        assert!(rows.iter().all(|(_, _, v)| matches!(v, Verdict::Ok(_))));
+        let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
+        assert!(failed);
+        assert!(markdown.contains("❌ not in baseline"));
+        assert!(markdown.contains("**FAIL**"));
     }
 }

@@ -18,6 +18,7 @@
 //! | [`experiments::fig11_large`]  | Beyond-paper: full pipeline at K = 25…300 |
 //! | [`experiments::fig12`]        | Fig. 12 (challenging channels) |
 //! | [`experiments::fig_fading`]   | Beyond-paper: correlated multipath fading sweep |
+//! | [`experiments::fig_resilience`] | Beyond-paper: fault injection + session recovery |
 //! | [`experiments::fig13`]        | Fig. 13 (energy per query) |
 //! | [`experiments::fig14`]        | Fig. 14 (identification time) |
 //! | [`experiments::lemma51`]      | Lemma 5.1 (K-estimation accuracy, analytical) |

@@ -148,6 +148,12 @@ pub struct BitFlippingDecoder {
     /// designed to be a no-op, and the differential tests pin that by
     /// comparing a skipping decoder against a force-full one bit for bit.
     force_full_worklist: bool,
+    /// When set, the message-passing schedule hands off to the hard
+    /// bit-flipping worklist once its soft sweeps reach a fixed point —
+    /// correct only on static (non-fading) sessions, where the soft
+    /// schedule's remaining work is pure overhead.  Drivers enable this when
+    /// the medium carries no dynamics; see [`crate::mp`].
+    pub(crate) static_handoff: bool,
 }
 
 /// A remembered candidate frame used by the stability locking gate.
@@ -723,6 +729,7 @@ impl BitFlippingDecoder {
             worklist: None,
             mp: None,
             force_full_worklist: false,
+            static_handoff: false,
         })
     }
 
@@ -751,6 +758,59 @@ impl BitFlippingDecoder {
     /// by running a skipping decoder against a force-full one bit for bit.
     pub fn force_full_worklist(&mut self, on: bool) {
         self.force_full_worklist = on;
+    }
+
+    /// Enables the static-session converged early-out of the
+    /// [`DecodeSchedule::MessagePassing`] schedule: once two consecutive
+    /// decode calls leave every soft posterior at its fixed point (every
+    /// position converges in a single sweep), the remaining decode work is
+    /// delegated to the hard bit-flipping worklist, which costs a fraction of
+    /// the soft sweeps.  Only sound when the channels do not vary over the
+    /// session — drivers enable it exactly when the medium carries no
+    /// dynamics.  Off by default, so fading sessions and historical pins are
+    /// untouched.
+    pub fn enable_static_handoff(&mut self, on: bool) {
+        self.static_handoff = on;
+    }
+
+    /// Whether the message-passing schedule has handed this session off to
+    /// the hard bit-flipping worklist (`false` before the first decode, when
+    /// the handoff is disabled, or under the other schedules).
+    #[must_use]
+    pub fn static_handoff_engaged(&self) -> bool {
+        self.mp.as_deref().is_some_and(|mp| mp.handed_off())
+    }
+
+    /// Mean per-(slot, position) residual power of `frames` against the
+    /// accumulated observations: `mean_{j,pos} |y_{j,pos} − Σ_i D_{j,i}
+    /// h_i·frames[i][pos]|²`.  This is the quantity whose plateau a recovery
+    /// layer watches for decode-stall detection (`crate::recovery`): on a
+    /// converging session fresh slots keep pulling it toward the noise floor,
+    /// while a diverged decode leaves it flat far above it.
+    ///
+    /// `frames` is indexed `[node][position]` — pass
+    /// [`DecodeState::candidate_frames`].  Returns 0 before any slot arrives.
+    #[must_use]
+    pub fn residual_power(&self, frames: &[Vec<bool>]) -> f64 {
+        let l = self.d.rows();
+        if l == 0 || frames.len() != self.channels.len() {
+            return 0.0;
+        }
+        let p = self.message_bits;
+        let mut total = 0.0;
+        for j in 0..l {
+            let cols = self.d.row(j);
+            for (pos, &received) in self.y[j].iter().enumerate() {
+                let mut expected = Complex::ZERO;
+                for &i in cols {
+                    if frames[i][pos] {
+                        expected += self.channels[i];
+                    }
+                }
+                total += (received - expected).norm_sqr();
+            }
+        }
+        total / (l * p) as f64
     }
 
     /// How many times the worklist schedule has descended each bit position
@@ -911,7 +971,7 @@ impl BitFlippingDecoder {
 
     /// The worklist decode: persistent per-position states, only dirty
     /// positions revisited.  See the module docs for the dirtiness rules.
-    fn decode_worklist(&mut self) -> BuzzResult<DecodeState> {
+    pub(crate) fn decode_worklist(&mut self) -> BuzzResult<DecodeState> {
         let p = self.message_bits;
         // The worklist is detached from `self` while decoding so the states
         // can be mutated against `&self` context (locks are applied between

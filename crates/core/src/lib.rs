@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod mp;
 pub mod protocol;
 pub mod rateless;
+pub mod recovery;
 pub mod session;
 pub mod toy;
 pub mod transfer;
@@ -72,7 +73,10 @@ pub use identification::{IdentificationConfig, IdentificationOutcome, Identifier
 pub use metrics::{EfficiencyReport, ReliabilityReport};
 pub use protocol::{BuzzConfig, BuzzOutcome, BuzzProtocol};
 pub use rateless::{ParticipationCode, RatelessEncoder};
-pub use session::{Protocol, SessionDiagnostics, SessionError, SessionOutcome, SessionResult};
+pub use recovery::{RecoveryConfig, ResilientBuzzProtocol};
+pub use session::{
+    Protocol, RecoveryDiagnostics, SessionDiagnostics, SessionError, SessionOutcome, SessionResult,
+};
 pub use transfer::{DataTransfer, TransferConfig, TransferOutcome};
 
 /// Errors produced by the Buzz protocol.

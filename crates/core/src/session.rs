@@ -72,6 +72,33 @@ impl From<SimError> for SessionError {
 /// Result alias for protocol sessions.
 pub type SessionResult<T> = Result<T, SessionError>;
 
+/// Recovery-side diagnostics a fault-tolerant scheme attaches to its
+/// [`SessionDiagnostics`] (see `crate::recovery`): how much work the session
+/// spent surviving faults rather than moving payload.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryDiagnostics {
+    /// Decode stalls detected (residual-power plateau over the stall window).
+    pub stalls_detected: usize,
+    /// Extra-slot requests the reader issued after stalls.
+    pub extra_slot_requests: usize,
+    /// Requests whose downlink feedback was lost and had to be retried.
+    pub feedback_retries: usize,
+    /// Idle slots spent in exponential backoff between retries.
+    pub backoff_slots: usize,
+    /// Decoder-state restores after reader restarts.
+    pub checkpoint_restores: usize,
+    /// Air slots whose observations were lost to faults (erased, or aired
+    /// between a checkpoint and the restart that discarded them).
+    pub wasted_slots: usize,
+    /// Times the session degraded to TDMA polling for unresolved tags.
+    pub fallback_events: usize,
+    /// Individual TDMA fallback polls issued.
+    pub fallback_polls: usize,
+    /// Messages delivered by the TDMA fallback (also counted in the
+    /// outcome's `delivered_messages`).
+    pub fallback_delivered: usize,
+}
+
 /// Decode-side diagnostics a scheme may attach to its [`SessionOutcome`].
 ///
 /// Fixed-rate baselines leave most of this `None`/empty; Buzz fills all of
@@ -93,6 +120,9 @@ pub struct SessionDiagnostics {
     pub k_estimate_rounded: Option<usize>,
     /// Whether identification recovered exactly the true id set.
     pub identification_exact: Option<bool>,
+    /// Fault-recovery accounting, for schemes that run a recovery layer
+    /// (`None` for plain sessions).
+    pub recovery: Option<RecoveryDiagnostics>,
 }
 
 /// The outcome of one protocol session, shaped identically for every scheme.
@@ -172,6 +202,7 @@ impl From<BuzzOutcome> for SessionOutcome {
             k_estimate: ident.map(|i| i.k_estimate.k_hat),
             k_estimate_rounded: ident.map(|i| i.k_estimate.k_rounded()),
             identification_exact: ident.map(super::identification::IdentificationOutcome::is_exact),
+            recovery: None,
         };
         let slots_used = ident.map(|i| i.slots.total()).unwrap_or(0) + outcome.transfer.slots_used;
         Self {

@@ -215,6 +215,13 @@ impl DataTransfer {
         let channels: Vec<Complex> = discovered.iter().map(|d| d.channel_estimate).collect();
         let mut decoder = BitFlippingDecoder::new(channels, framed_bits, medium.noise_power())?
             .with_schedule(self.config.decode_schedule);
+        if self.config.decode_schedule == DecodeSchedule::MessagePassing
+            && medium.dynamics().is_empty()
+        {
+            // Static session: once the soft sweeps reach their fixed point,
+            // hand the rest of the decode to the cheaper hard worklist.
+            decoder.enable_static_handoff(true);
+        }
 
         // Data-phase trigger.
         let mut time_s = timing.downlink_s(ReaderCommand::BuzzTrigger.bits()) + timing.t1_s;
@@ -224,15 +231,35 @@ impl DataTransfer {
         let mut tag_transmissions = vec![0usize; tags.len()];
         let mut complete = false;
         let mut final_state = None;
+        // Control-plane fault state: tags that browned out stay dark, and a
+        // reader restart kills the (checkpoint-free) session outright.
+        let mut tag_dead = vec![false; tags.len()];
+        let mut restarted = false;
 
         for slot in 0..budget as u64 {
             // Slot boundary: scenarios with dynamics (mobility, interference
             // bursts) evolve the medium here; static scenarios take a no-op.
             medium.begin_slot(slot);
+            let faults = medium.slot_faults(slot);
+            if let Some(f) = &faults {
+                for &t in &f.tags_reset {
+                    if t < tag_dead.len() {
+                        tag_dead[t] = true;
+                    }
+                }
+                if f.reader_restart {
+                    // The plain protocol keeps no checkpoint: the restart
+                    // wipes all undecoded session RAM and the transfer is
+                    // lost (the resuming variant lives in `crate::recovery`).
+                    restarted = true;
+                    break;
+                }
+            }
             // Tag side: every physical tag decides from its own temporary id.
             let tag_participation: Vec<bool> = tags
                 .iter()
-                .map(|t| code.participates(t.node_seed, slot))
+                .enumerate()
+                .map(|(i, t)| !tag_dead[i] && code.participates(t.node_seed, slot))
                 .collect();
             for (count, &p) in tag_transmissions.iter_mut().zip(&tag_participation) {
                 if p {
@@ -243,6 +270,7 @@ impl DataTransfer {
             let reader_participation = encoder.next_slot();
 
             // The collision on the air, one symbol per framed-bit position.
+            let noise_factor = faults.as_ref().map_or(1.0, |f| f.noise_power_factor);
             let mut symbols = Vec::with_capacity(framed_bits);
             for pos in 0..framed_bits {
                 let bits: Vec<bool> = tags
@@ -250,9 +278,17 @@ impl DataTransfer {
                     .enumerate()
                     .map(|(i, _)| tag_participation[i] && framed[i][pos])
                     .collect();
-                symbols.push(medium.observe(&bits)?);
+                symbols.push(medium.observe_with_noise_factor(&bits, noise_factor)?);
             }
             time_s += framed_bits as f64 * timing.uplink_symbol_s();
+
+            if faults.as_ref().is_some_and(|f| f.collision_erased) {
+                // Frame-sync loss: the slot aired (the tags spent the energy
+                // and the time passed) but the reader discards the
+                // observation instead of feeding its decoder.
+                newly_decoded_per_slot.push(0);
+                continue;
+            }
 
             decoder.add_slot(&reader_participation, symbols)?;
             let state = decoder.decode()?;
@@ -268,9 +304,13 @@ impl DataTransfer {
         // Reader terminates the phase by dropping its carrier.
         time_s += timing.downlink_s(ReaderCommand::BuzzStop.bits()) + timing.t2_s;
 
-        let decoded_payloads = final_state
-            .map(|s| s.decoded_payloads)
-            .unwrap_or_else(|| vec![None; k_reader]);
+        let decoded_payloads = if restarted {
+            vec![None; k_reader]
+        } else {
+            final_state
+                .map(|s| s.decoded_payloads)
+                .unwrap_or_else(|| vec![None; k_reader])
+        };
 
         Ok(TransferOutcome {
             slots_used: newly_decoded_per_slot.len(),
@@ -452,6 +492,92 @@ mod tests {
             .all(|&c| c <= outcome.slots_used));
         assert!(outcome.time_ms > 0.0);
         assert_eq!(outcome.framed_bits, 37);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_byte_identical_to_no_plan() {
+        use backscatter_sim::faults::{FeedbackLoss, SlotErasure};
+
+        let run = |faulted: bool| {
+            let mut builder = ScenarioBuilder::paper_uplink(6, 71);
+            if faulted {
+                builder = builder
+                    .fault(SlotErasure::new(0.0).unwrap())
+                    .fault(FeedbackLoss::new(0.0).unwrap());
+            }
+            let mut scenario = builder.build().unwrap();
+            let mut discovered = Vec::new();
+            for (i, tag) in scenario.tags_mut().iter_mut().enumerate() {
+                let temp_id = 1000 + i as u64;
+                tag.assign_temporary_id(temp_id);
+                discovered.push(DiscoveredTag {
+                    temporary_id: temp_id,
+                    channel_estimate: tag.channel.coefficient,
+                });
+            }
+            let mut medium = scenario.medium(5).unwrap();
+            DataTransfer::new(TransferConfig::default())
+                .unwrap()
+                .run(scenario.tags(), &discovered, &mut medium)
+                .unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reader_restart_without_checkpoint_loses_the_transfer() {
+        use backscatter_sim::faults::ReaderRestart;
+
+        let mut scenario = ScenarioBuilder::paper_uplink(4, 23)
+            .fault(ReaderRestart::new(2))
+            .build()
+            .unwrap();
+        let mut discovered = Vec::new();
+        for (i, tag) in scenario.tags_mut().iter_mut().enumerate() {
+            let temp_id = 3000 + i as u64;
+            tag.assign_temporary_id(temp_id);
+            discovered.push(DiscoveredTag {
+                temporary_id: temp_id,
+                channel_estimate: tag.channel.coefficient,
+            });
+        }
+        let mut medium = scenario.medium(7).unwrap();
+        let outcome = DataTransfer::new(TransferConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
+        assert!(!outcome.complete);
+        assert_eq!(outcome.decoded_count(), 0);
+        assert_eq!(outcome.lost_count(), 4);
+    }
+
+    #[test]
+    fn total_erasure_burns_the_budget_without_decoding() {
+        use backscatter_sim::faults::SlotErasure;
+
+        let mut scenario = ScenarioBuilder::paper_uplink(3, 29)
+            .fault(SlotErasure::new(1.0).unwrap())
+            .build()
+            .unwrap();
+        let mut discovered = Vec::new();
+        for (i, tag) in scenario.tags_mut().iter_mut().enumerate() {
+            let temp_id = 4000 + i as u64;
+            tag.assign_temporary_id(temp_id);
+            discovered.push(DiscoveredTag {
+                temporary_id: temp_id,
+                channel_estimate: tag.channel.coefficient,
+            });
+        }
+        let mut medium = scenario.medium(3).unwrap();
+        let outcome = DataTransfer::new(TransferConfig::default())
+            .unwrap()
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
+        assert!(!outcome.complete);
+        assert_eq!(outcome.decoded_count(), 0);
+        // Every budgeted slot aired and was discarded.
+        assert_eq!(outcome.slots_used, 20 * 3);
+        assert!(outcome.per_tag_transmissions.iter().any(|&c| c > 0));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`dynamics`] — composable per-slot effects (mobility drift, bursty
 //!   interference, heterogeneous tag power) attached through the scenario
 //!   builder,
+//! * [`faults`] — seeded control-plane fault injection (slot erasures,
+//!   feedback loss, tag resets, reader restarts) for robustness experiments,
 //! * [`tag`] — the per-tag state bundle (seed, message, channel, clock,
 //!   battery),
 //! * [`scenario`] — reproducible experiment construction: "K tags at this
@@ -25,6 +27,7 @@
 
 pub mod dynamics;
 pub mod energy;
+pub mod faults;
 pub mod geometry;
 pub mod medium;
 pub mod scenario;
@@ -32,6 +35,10 @@ pub mod tag;
 
 pub use dynamics::{BurstyInterference, HeterogeneousTagPower, Mobility, ScenarioDynamics};
 pub use energy::{EnergyModel, TagBattery, TransmissionProfile};
+pub use faults::{
+    BurstSlotLoss, FaultInjector, FaultPlan, FeedbackLoss, FrameNoise, ReaderRestart, SlotErasure,
+    SlotFaults, TagDropout,
+};
 pub use geometry::{cart_layout, Position, TablePlacement};
 pub use medium::{Medium, MediumConfig, SlotLog};
 pub use scenario::{Placement, Scenario, ScenarioBuilder, ScenarioConfig, SnrProfile};

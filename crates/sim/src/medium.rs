@@ -18,6 +18,7 @@ use backscatter_phy::signal::{PowerDetector, SlotObservation};
 use backscatter_prng::{SplitMix64, Xoshiro256};
 
 use crate::dynamics::{ScenarioDynamics, SlotView};
+use crate::faults::{FaultPlan, SlotFaults};
 use crate::{SimError, SimResult};
 
 /// Configuration of a [`Medium`].
@@ -74,6 +75,8 @@ pub struct Medium {
     dynamics: Vec<Arc<dyn ScenarioDynamics>>,
     /// Seed material for the dynamics streams.
     dynamics_seed: u64,
+    /// Control-plane fault plan, if any (`None` = fault-free sessions).
+    faults: Option<Arc<FaultPlan>>,
     /// Amplitude multiplier on the noise source for the current slot
     /// (`sqrt` of the dynamics' power scale; 1.0 when static).
     noise_amplitude_scale: f64,
@@ -110,6 +113,7 @@ impl Medium {
             config,
             dynamics: Vec::new(),
             dynamics_seed: 0,
+            faults: None,
             noise_amplitude_scale: 1.0,
             log: Vec::new(),
         })
@@ -161,6 +165,33 @@ impl Medium {
     #[must_use]
     pub fn dynamics(&self) -> &[Arc<dyn ScenarioDynamics>] {
         &self.dynamics
+    }
+
+    /// Attaches a control-plane fault plan.  Protocols consult it through
+    /// [`Medium::slot_faults`]; with no plan attached that call returns
+    /// `None` and the medium is bit-identical to a pre-faults one.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        if !plan.is_empty() {
+            self.faults = Some(plan);
+        }
+        self
+    }
+
+    /// Whether a (non-empty) fault plan is attached.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The control-plane faults for `slot`, or `None` when no fault plan is
+    /// attached.  Pure in the slot index: consulting the same slot twice
+    /// yields identical faults.
+    #[must_use]
+    pub fn slot_faults(&self, slot: u64) -> Option<SlotFaults> {
+        self.faults
+            .as_ref()
+            .map(|plan| plan.slot_faults(slot, self.channels.len()))
     }
 
     /// The effective noise power for the current slot (base noise times the
@@ -257,6 +288,44 @@ impl Medium {
         Ok(symbol)
     }
 
+    /// Like [`Medium::observe`], but with the noise power scaled by
+    /// `power_factor` for this one symbol — the hook fault plans use to model
+    /// CRC-corrupting frame noise.  A factor of exactly 1 is draw-identical
+    /// to a plain `observe` call, so fault-free slots stay byte-reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if `bits` does not cover every tag, or
+    /// an invalid-parameter error for a non-finite or negative factor.
+    pub fn observe_with_noise_factor(
+        &mut self,
+        bits: &[bool],
+        power_factor: f64,
+    ) -> SimResult<Complex> {
+        if !power_factor.is_finite() || power_factor < 0.0 {
+            return Err(SimError::InvalidParameter(
+                "noise power factor must be finite and non-negative",
+            ));
+        }
+        if power_factor == 1.0 {
+            return self.observe(bits);
+        }
+        self.check_bits(bits)?;
+        let symbol = self.clean_symbol(bits) + self.noise_sample() * power_factor.sqrt();
+        if self.config.logging {
+            self.log.push(SlotLog {
+                participants: bits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .collect(),
+                symbol,
+            });
+        }
+        Ok(symbol)
+    }
+
     /// One received symbol *including* the carrier-leakage baseline — what a
     /// raw USRP capture looks like before the reader subtracts the static
     /// environment (used by the Fig. 2/3 waveform reproductions).
@@ -301,6 +370,48 @@ impl Medium {
             .sum();
         let noise = self.noise_sample();
         Ok(clean + noise)
+    }
+
+    /// Like [`Medium::observe_fractional`], but with the noise power scaled
+    /// by `power_factor` for this one symbol (the CDMA baseline's hook for
+    /// fault-plan frame noise).  A factor of exactly 1 is draw-identical to a
+    /// plain `observe_fractional` call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Medium::observe_fractional`], plus an invalid-parameter error
+    /// for a non-finite or negative factor.
+    pub fn observe_fractional_with_noise_factor(
+        &mut self,
+        weights: &[f64],
+        power_factor: f64,
+    ) -> SimResult<Complex> {
+        if !power_factor.is_finite() || power_factor < 0.0 {
+            return Err(SimError::InvalidParameter(
+                "noise power factor must be finite and non-negative",
+            ));
+        }
+        if power_factor == 1.0 {
+            return self.observe_fractional(weights);
+        }
+        if weights.len() != self.channels.len() {
+            return Err(SimError::Phy(backscatter_phy::PhyError::LengthMismatch {
+                expected: self.channels.len(),
+                actual: weights.len(),
+            }));
+        }
+        if weights.iter().any(|w| !(0.0..=1.0).contains(w)) {
+            return Err(SimError::InvalidParameter(
+                "fractional reflection weights must be in [0, 1]",
+            ));
+        }
+        let clean: Complex = self
+            .channels
+            .iter()
+            .zip(weights)
+            .map(|(c, &w)| c.coefficient * w)
+            .sum();
+        Ok(clean + self.noise_sample() * power_factor.sqrt())
     }
 
     /// Observes a whole sequence of slots: `per_slot_bits[j][i]` is tag `i`'s
@@ -532,6 +643,54 @@ mod tests {
         // Every slot's state is a pure function of the slot index.
         m.begin_slot(40);
         assert_eq!(m.channels(), &rotated[..]);
+    }
+
+    #[test]
+    fn noise_factor_scales_the_same_draw() {
+        let mut plain = medium_with(&[(1.0, 0.0)], 1e-4);
+        let mut scaled = medium_with(&[(1.0, 0.0)], 1e-4);
+        // Silence observations expose the raw noise draw: a factor of 4 in
+        // power is exactly 2x the amplitude of the identical seeded draw.
+        let n = plain.observe(&[false]).unwrap();
+        let boosted = scaled.observe_with_noise_factor(&[false], 4.0).unwrap();
+        assert!((boosted - n * 2.0).abs() < 1e-12);
+        // Factor 1 takes the plain path bit-for-bit.
+        let a = plain.observe(&[true]).unwrap();
+        let b = scaled.observe_with_noise_factor(&[true], 1.0).unwrap();
+        assert_eq!(a, b);
+        assert!(scaled.observe_with_noise_factor(&[true], -1.0).is_err());
+        assert!(scaled
+            .observe_with_noise_factor(&[true], f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn fault_plan_attaches_and_is_pure() {
+        use crate::faults::{FaultPlan, ReaderRestart, SlotErasure};
+
+        let m = medium_with(&[(1.0, 0.0), (0.5, 0.2)], 1e-4);
+        assert!(!m.has_faults());
+        assert!(m.slot_faults(3).is_none());
+
+        // An empty plan is dropped, keeping the fault-free fast path.
+        let empty =
+            medium_with(&[(1.0, 0.0)], 1e-4).with_faults(Arc::new(FaultPlan::new(9, Vec::new())));
+        assert!(!empty.has_faults());
+
+        let plan = Arc::new(FaultPlan::new(
+            42,
+            vec![
+                Arc::new(SlotErasure::new(0.5).unwrap()),
+                Arc::new(ReaderRestart::new(6)),
+            ],
+        ));
+        let m = medium_with(&[(1.0, 0.0), (0.5, 0.2)], 1e-4).with_faults(plan);
+        assert!(m.has_faults());
+        let first: Vec<_> = (0..16).map(|s| m.slot_faults(s).unwrap()).collect();
+        let second: Vec<_> = (0..16).map(|s| m.slot_faults(s).unwrap()).collect();
+        assert_eq!(first, second);
+        assert!(first[6].reader_restart);
+        assert!(first.iter().any(|f| f.collision_erased));
     }
 
     #[test]

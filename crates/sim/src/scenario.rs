@@ -19,6 +19,7 @@ use backscatter_prng::{NodeSeed, Rng64, SplitMix64, Xoshiro256};
 
 use crate::dynamics::ScenarioDynamics;
 use crate::energy::TagBattery;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::geometry::{cart_layout, TablePlacement};
 use crate::medium::{Medium, MediumConfig};
 use crate::tag::SimTag;
@@ -162,6 +163,7 @@ pub enum Placement {
 pub struct ScenarioBuilder {
     config: ScenarioConfig,
     dynamics: Vec<Arc<dyn ScenarioDynamics>>,
+    faults: Vec<Arc<dyn FaultInjector>>,
 }
 
 impl ScenarioBuilder {
@@ -179,6 +181,7 @@ impl ScenarioBuilder {
         Self {
             config: ScenarioConfig::paper_uplink(k, seed),
             dynamics: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -189,6 +192,7 @@ impl ScenarioBuilder {
         Self {
             config: ScenarioConfig::challenging(k, seed, median_snr_db),
             dynamics: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -265,6 +269,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Appends one composable control-plane [`FaultInjector`] (slot erasure,
+    /// feedback loss, tag dropout, reader restart, …).  Like dynamics, the
+    /// fault realization is seeded per `(scenario seed, noise seed)` and is
+    /// identical for every protocol run over the same medium, so compared
+    /// schemes face the same failures.
+    #[must_use]
+    pub fn fault(mut self, fault: impl FaultInjector + 'static) -> Self {
+        self.faults.push(Arc::new(fault));
+        self
+    }
+
+    /// Appends an already-shared fault injector.
+    #[must_use]
+    pub fn fault_arc(mut self, fault: Arc<dyn FaultInjector>) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
     /// The configuration the builder would hand to [`Scenario::build`].
     #[must_use]
     pub fn config(&self) -> &ScenarioConfig {
@@ -279,6 +301,7 @@ impl ScenarioBuilder {
     pub fn build(self) -> SimResult<Scenario> {
         let mut scenario = Scenario::build(self.config)?;
         scenario.dynamics = self.dynamics;
+        scenario.faults = self.faults;
         Ok(scenario)
     }
 }
@@ -293,6 +316,9 @@ pub struct Scenario {
     /// Per-slot dynamics every medium built from this scenario carries
     /// (empty for the paper's static scenarios).
     dynamics: Vec<Arc<dyn ScenarioDynamics>>,
+    /// Control-plane fault injectors every medium built from this scenario
+    /// carries (empty for fault-free sessions).
+    faults: Vec<Arc<dyn FaultInjector>>,
 }
 
 impl Scenario {
@@ -375,6 +401,7 @@ impl Scenario {
             tags,
             noise_power,
             dynamics: Vec::new(),
+            faults: Vec::new(),
         })
     }
 
@@ -418,7 +445,7 @@ impl Scenario {
     /// Propagates medium construction errors.
     pub fn medium(&self, noise_seed: u64) -> SimResult<Medium> {
         let channels = self.tags.iter().map(|t| t.channel).collect();
-        let medium = Medium::new(
+        let mut medium = Medium::new(
             channels,
             MediumConfig {
                 noise_power: self.noise_power,
@@ -426,17 +453,25 @@ impl Scenario {
                 ..MediumConfig::default()
             },
         )?;
-        if self.dynamics.is_empty() {
-            return Ok(medium);
+        if !self.dynamics.is_empty() {
+            // The dynamics realization follows the noise realization: one
+            // location (config seed) re-observed with a new `noise_seed` sees
+            // new burst phases and drift rates, the way repeated trace
+            // collection would.
+            medium = medium.with_dynamics(
+                self.dynamics.clone(),
+                SplitMix64::mix(self.config.seed, noise_seed),
+            );
         }
-        // The dynamics realization follows the noise realization: one
-        // location (config seed) re-observed with a new `noise_seed` sees new
-        // burst phases and drift rates, the way repeated trace collection
-        // would.
-        Ok(medium.with_dynamics(
-            self.dynamics.clone(),
-            SplitMix64::mix(self.config.seed, noise_seed),
-        ))
+        if !self.faults.is_empty() {
+            // Faults get their own stream family (salted inside the plan) so
+            // attaching injectors never perturbs the dynamics realization.
+            medium = medium.with_faults(Arc::new(FaultPlan::new(
+                SplitMix64::mix(self.config.seed, noise_seed),
+                self.faults.clone(),
+            )));
+        }
+        Ok(medium)
     }
 
     /// The per-slot dynamics attached to this scenario (empty for the
@@ -444,6 +479,13 @@ impl Scenario {
     #[must_use]
     pub fn dynamics(&self) -> &[Arc<dyn ScenarioDynamics>] {
         &self.dynamics
+    }
+
+    /// The control-plane fault injectors attached to this scenario (empty for
+    /// fault-free sessions).
+    #[must_use]
+    pub fn faults(&self) -> &[Arc<dyn FaultInjector>] {
+        &self.faults
     }
 
     /// Per-tag SNRs in dB, for labelling results the way Fig. 12 does.
@@ -650,6 +692,38 @@ mod tests {
         }
         assert!(same);
         assert!(differs);
+    }
+
+    #[test]
+    fn faults_ride_into_the_medium() {
+        use crate::faults::{ReaderRestart, SlotErasure};
+
+        let scenario = Scenario::builder(4)
+            .seed(13)
+            .fault(SlotErasure::new(0.5).unwrap())
+            .fault(ReaderRestart::new(9))
+            .build()
+            .unwrap();
+        assert_eq!(scenario.faults().len(), 2);
+        // No dynamics attached: the channel/noise path stays static even with
+        // faults riding along.
+        let medium = scenario.medium(1).unwrap();
+        assert!(medium.dynamics().is_empty());
+        assert!(medium.has_faults());
+        assert!(medium.slot_faults(9).unwrap().reader_restart);
+
+        // Same (scenario seed, noise seed) => same fault realization;
+        // different noise seed => a different one.
+        let a = scenario.medium(1).unwrap();
+        let b = scenario.medium(1).unwrap();
+        let c = scenario.medium(2).unwrap();
+        let pattern = |m: &Medium| -> Vec<bool> {
+            (0..64)
+                .map(|s| m.slot_faults(s).unwrap().collision_erased)
+                .collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Fault injection and session recovery: Buzz with and without the
+//! recovery layer under control-plane faults.
+//!
+//! Attaches seeded `FaultInjector`s from `backscatter_sim::faults` to a
+//! shelf scenario — slot erasures that starve the collision decoder, lost
+//! downlink feedback, tag dropouts, a mid-session reader restart — and
+//! drives the plain protocol, the resilient wrapper
+//! (`buzz::recovery::ResilientBuzzProtocol`), and the TDMA baseline through
+//! the unified `&[&dyn Protocol]` session API.  The plain session delivers
+//! zero when the decoder starves or the reader loses state; `buzz+r`
+//! detects the stall, reseeds participation epochs, restores its decoder
+//! checkpoint, and — when all else fails — degrades to polling only the
+//! unresolved tags, Gen-2 style.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use backscatter_baselines::session::TdmaProtocol;
+use backscatter_sim::faults::{FeedbackLoss, ReaderRestart, SlotErasure, TagDropout};
+use backscatter_sim::scenario::{Scenario, ScenarioBuilder};
+use buzz::protocol::{BuzzConfig, BuzzProtocol};
+use buzz::recovery::{RecoveryConfig, ResilientBuzzProtocol};
+use buzz::session::{Protocol, SessionOutcome};
+
+/// Builds the scenario for one (fault regime, trial) cell.  Every injector
+/// draws from its own seeded stream, so reruns are byte-identical.
+fn build_scenario(
+    fault: &str,
+    k: usize,
+    seed: u64,
+) -> Result<Scenario, Box<dyn std::error::Error>> {
+    let builder = ScenarioBuilder::paper_uplink(k, seed);
+    Ok(match fault {
+        "clean" => builder.build()?,
+        "erase 100%" => builder.fault(SlotErasure::new(1.0)?).build()?,
+        "erase+fb 50%" => builder
+            .fault(SlotErasure::new(0.5)?)
+            .fault(FeedbackLoss::new(0.5)?)
+            .build()?,
+        "dropout 25%" => builder.fault(TagDropout::new(0.25, 40)?).build()?,
+        "restart @5" => builder.fault(ReaderRestart::new(5)).build()?,
+        other => return Err(format!("unknown fault regime {other}").into()),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = BuzzConfig {
+        periodic_mode: true,
+        ..BuzzConfig::default()
+    };
+    let plain = BuzzProtocol::new(config)?;
+    let resilient = ResilientBuzzProtocol::new(config, RecoveryConfig::default())?;
+    let tdma = TdmaProtocol::paper_default()?;
+    let panel: [&dyn Protocol; 3] = [&plain, &resilient, &tdma];
+
+    let regimes = [
+        "clean",
+        "erase 100%",
+        "erase+fb 50%",
+        "dropout 25%",
+        "restart @5",
+    ];
+    let trials = 3u64;
+    let k = 8usize;
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "fault", "scheme", "delivered", "requests", "restores", "polls", "wasted"
+    );
+    println!("{}", "-".repeat(74));
+
+    for regime in regimes {
+        let mut sums: Vec<[f64; 5]> = vec![[0.0; 5]; panel.len()];
+        for trial in 0..trials {
+            let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(panel.len());
+            for protocol in panel {
+                let mut scenario = build_scenario(regime, k, 7_700 + trial * 13)?;
+                let outcome = protocol.run_after(&mut scenario, trial, &outcomes)?;
+                outcomes.push(outcome);
+            }
+            for (sum, outcome) in sums.iter_mut().zip(&outcomes) {
+                sum[0] += outcome.delivered_messages as f64;
+                if let Some(r) = outcome
+                    .diagnostics
+                    .as_ref()
+                    .and_then(|d| d.recovery.as_ref())
+                {
+                    sum[1] += r.extra_slot_requests as f64;
+                    sum[2] += r.checkpoint_restores as f64;
+                    sum[3] += r.fallback_polls as f64;
+                    sum[4] += r.wasted_slots as f64;
+                }
+            }
+        }
+        let n = trials as f64;
+        for (protocol, sum) in panel.iter().zip(&sums) {
+            println!(
+                "{:<14} {:>8} {:>7.1}/{:<2} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                regime,
+                protocol.name(),
+                sum[0] / n,
+                k,
+                sum[1] / n,
+                sum[2] / n,
+                sum[3] / n,
+                sum[4] / n
+            );
+        }
+        println!("{}", "-".repeat(74));
+    }
+
+    println!(
+        "Total slot erasure starves the collision decoder, so plain Buzz\n\
+         delivers nothing; buzz+r burns its stall/retry budget, then polls\n\
+         the unresolved tags one at a time (singleton polls need no\n\
+         collision frame sync, so they get through). A reader restart wipes\n\
+         the plain decoder mid-session, while buzz+r restores its last\n\
+         checkpoint and finishes. With no faults attached, buzz+r consumes\n\
+         the identical noise-draw stream plain Buzz does — the recovery\n\
+         columns stay at zero."
+    );
+    Ok(())
+}
