@@ -28,6 +28,9 @@ impl From<BaselineTransferOutcome> for SessionOutcome {
             delivered_messages: outcome.delivered_count(),
             lost_messages: outcome.lost_count(),
             wall_time_ms: outcome.time_ms,
+            // The polling drivers report delivery per tag in tag order — the
+            // fleet layer's carried-over state rides on exactly this.
+            per_tag_delivered: outcome.delivered.clone(),
             per_tag_energy_j: Vec::new(),
             // One polling round per tag; adapters that know better (CDMA's
             // single concurrent frame) overwrite this.
@@ -44,6 +47,8 @@ impl From<IdentificationReport> for SessionOutcome {
             delivered_messages: report.identified,
             lost_messages: report.population - report.identified,
             wall_time_ms: report.time_ms,
+            // Slot-count identification does not attribute to specific tags.
+            per_tag_delivered: Vec::new(),
             per_tag_energy_j: Vec::new(),
             slots_used: report.slots,
             diagnostics: None,
@@ -336,6 +341,7 @@ mod tests {
             delivered_messages: 8,
             lost_messages: 0,
             wall_time_ms: 1.0,
+            per_tag_delivered: Vec::new(),
             per_tag_energy_j: Vec::new(),
             slots_used: 10,
             diagnostics: Some(SessionDiagnostics {
@@ -368,5 +374,6 @@ mod tests {
         assert_eq!(session.lost_messages, 1);
         assert_eq!(session.wall_time_ms, 3.5);
         assert_eq!(session.slots_used, 3);
+        assert_eq!(session.per_tag_delivered, vec![true, false, true]);
     }
 }

@@ -11,8 +11,8 @@
 //! ```
 //!
 //! Valid experiment ids: `table12`, `fig2_3`, `fig7`, `fig8`, `fig9`, `fig10`,
-//! `fig11`, `fig11_large`, `fig12`, `fig_fading`, `fig_resilience`, `fig13`,
-//! `fig14`, `lemma51`, `headline`, `all`.
+//! `fig11`, `fig11_large`, `fig12`, `fig_fading`, `fig_resilience`,
+//! `fig_fleet`, `fig13`, `fig14`, `lemma51`, `headline`, `all`.
 //!
 //! `--threads N` shards each experiment's scenario matrix across `N` worker
 //! threads (default: the machine's available parallelism).  Output is
@@ -72,6 +72,9 @@ fn main() {
         }
         "fig_resilience" | "fig-resilience" | "resilience" => {
             vec![experiments::fig_resilience(locations, BASE_SEED, threads)]
+        }
+        "fig_fleet" | "fig-fleet" | "fleet" => {
+            vec![experiments::fig_fleet(BASE_SEED, threads)]
         }
         "fig13" => vec![experiments::fig13(locations, BASE_SEED, threads)],
         "fig14" => vec![experiments::fig14(locations, BASE_SEED, threads)],

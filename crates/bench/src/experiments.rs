@@ -18,6 +18,7 @@
 use backscatter_baselines::session::{
     CdmaProtocol, FsaIdentification, FsaWithEstimatedK, TdmaProtocol,
 };
+use backscatter_fleet::{run_fleet, FleetConfig};
 use backscatter_phy::channel::Channel;
 use backscatter_phy::complex::Complex;
 use backscatter_phy::signal::{Constellation, IqTrace};
@@ -873,6 +874,110 @@ pub fn fig_resilience(locations: u64, base_seed: u64, threads: usize) -> Experim
     report
 }
 
+/// The `fig_fleet` operating points: (readers, shared population size).
+const FLEET_GRID: [(usize, usize); 3] = [(50, 2_500), (100, 5_000), (200, 10_000)];
+
+/// The fleet configuration for one `fig_fleet` operating point.
+fn fleet_config(readers: usize, population: usize, base_seed: u64) -> FleetConfig {
+    FleetConfig {
+        readers,
+        population,
+        seed: base_seed,
+        ..FleetConfig::default()
+    }
+}
+
+/// Fleet extrapolation (no paper counterpart): hundreds of staggered readers
+/// over one shared persistent tag population.
+///
+/// The paper evaluates one reader and one cart of tags; a warehouse runs a
+/// *fleet*, and a tag that misses one session carries its message to the
+/// next reader that inventories it.  The grid scales readers and population
+/// together at fixed cell size (K = 16 per session, 2 inventory epochs,
+/// 10 % of tags off the floor per epoch), comparing Buzz, `buzz+r`, and
+/// TDMA through the same [`Protocol`] panel the single-session figures use.
+/// Unlike those figures this one does not average over locations — the fleet
+/// run is itself the ensemble (hundreds of sessions per cell of the grid) —
+/// so `locations` does not appear; `threads` shards sessions across the
+/// fleet crate's work-stealing executor with byte-identical output.
+#[must_use]
+pub fn fig_fleet(base_seed: u64, threads: usize) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig_fleet",
+        "Warehouse fleet: staggered readers over a shared persistent population (K = 16 per cell)",
+        "overlapping sessions sustain >10k aggregate msgs/s; conservation (offered = delivered + lost + carried) holds everywhere",
+        &[
+            "readers",
+            "tags",
+            "scheme",
+            "sessions",
+            "offered",
+            "delivered",
+            "carried",
+            "lost",
+            "msgs/s",
+            "p50 ms",
+            "p99 ms",
+            "uJ/msg",
+            "util",
+        ],
+    );
+    let buzz = BuzzProtocol::new(BuzzConfig {
+        periodic_mode: true,
+        ..BuzzConfig::default()
+    })
+    .expect("protocol");
+    let resilient = ResilientBuzzProtocol::new(
+        BuzzConfig {
+            periodic_mode: true,
+            ..BuzzConfig::default()
+        },
+        RecoveryConfig::default(),
+    )
+    .expect("protocol");
+    let tdma = TdmaProtocol::paper_default().expect("tdma");
+    let panel: [&dyn Protocol; 3] = [&buzz, &resilient, &tdma];
+    let mut conserved = true;
+    let mut headline: Vec<f64> = Vec::new();
+    let mut peak = 0usize;
+    for &(readers, population) in &FLEET_GRID {
+        let config = fleet_config(readers, population, base_seed);
+        for protocol in panel {
+            let outcome = run_fleet(protocol, &config, threads).expect("fleet run");
+            conserved &= outcome.conservation_holds();
+            if (readers, population) == FLEET_GRID[FLEET_GRID.len() - 1] {
+                headline.push(outcome.total_msgs_per_s);
+                peak = peak.max(outcome.peak_concurrent_sessions);
+            }
+            report.push_row(vec![
+                readers.to_string(),
+                population.to_string(),
+                outcome.scheme.clone(),
+                outcome.sessions.to_string(),
+                outcome.offered.to_string(),
+                outcome.delivered.to_string(),
+                outcome.carried_over.to_string(),
+                outcome.lost.to_string(),
+                format!("{:.1}", outcome.total_msgs_per_s),
+                format!("{:.2}", outcome.p50_session_ms),
+                format!("{:.2}", outcome.p99_session_ms),
+                format!("{:.2}", outcome.energy_per_delivered_j * 1e6),
+                format!("{:.3}", outcome.mean_utilization),
+            ]);
+        }
+    }
+    report.push_finding(format!(
+        "message conservation holds at every operating point: {conserved}"
+    ));
+    if let (Some(buzz_rate), Some(tdma_rate)) = (headline.first(), headline.last()) {
+        report.push_finding(format!(
+            "200 readers / 10k tags: buzz {buzz_rate:.0} msgs/s vs TDMA {tdma_rate:.0} msgs/s ({:.1}x), peak {peak} concurrent sessions",
+            buzz_rate / tdma_rate
+        ));
+    }
+    report
+}
+
 /// Fig. 13: per-query energy consumption vs starting voltage.
 #[must_use]
 pub fn fig13(locations: u64, base_seed: u64, threads: usize) -> ExperimentReport {
@@ -1156,6 +1261,7 @@ pub fn run_all(locations: u64, base_seed: u64, threads: usize) -> Vec<Experiment
         fig12(locations, base_seed, threads),
         fig_fading(locations, base_seed, threads),
         fig_resilience(locations, base_seed, threads),
+        fig_fleet(base_seed, threads),
         fig13(locations, base_seed, threads),
         fig14(locations, base_seed, threads),
         lemma51(base_seed, threads),
@@ -1391,6 +1497,61 @@ mod tests {
             recovered >= 2,
             "recovery beat a dead plain session at only {recovered} operating points"
         );
+    }
+
+    #[test]
+    fn fig_fleet_regression_pins_the_grid() {
+        // Frozen from the first `reproduce fig_fleet` run at the reproduce
+        // binary's base seed.  The fleet layer promises byte-identical
+        // output for every thread count, so the pin runs sharded (threads =
+        // 2) and must still match the recorded serial rows exactly.
+        let r = fig_fleet(2012, 2);
+        let expected: [&[&str]; 9] = [
+            &[
+                "50", "2500", "buzz", "100", "1600", "1600", "0", "0", "14056.2", "7.91", "7.91",
+                "3.40", "0.139",
+            ],
+            &[
+                "50", "2500", "buzz+r", "100", "1600", "1600", "0", "0", "14056.2", "7.91", "7.91",
+                "3.40", "0.139",
+            ],
+            &[
+                "50", "2500", "tdma", "100", "1598", "1597", "1", "0", "13911.1", "8.40", "8.40",
+                "1.45", "0.146",
+            ],
+            &[
+                "100", "5000", "buzz", "200", "3200", "3200", "0", "0", "14965.2", "7.91", "7.91",
+                "3.40", "0.074",
+            ],
+            &[
+                "100", "5000", "buzz+r", "200", "3200", "3200", "0", "0", "14965.2", "7.91",
+                "7.91", "3.40", "0.074",
+            ],
+            &[
+                "100", "5000", "tdma", "200", "3197", "3186", "11", "0", "14832.4", "8.40", "8.40",
+                "1.46", "0.078",
+            ],
+            &[
+                "200", "10000", "buzz", "400", "6400", "6400", "0", "0", "15465.3", "7.91", "7.91",
+                "3.40", "0.038",
+            ],
+            &[
+                "200", "10000", "buzz+r", "400", "6400", "6400", "0", "0", "15465.3", "7.91",
+                "7.91", "3.40", "0.038",
+            ],
+            &[
+                "200", "10000", "tdma", "400", "6398", "6372", "26", "0", "15361.6", "8.40",
+                "8.40", "1.46", "0.041",
+            ],
+        ];
+        assert_eq!(r.rows.len(), expected.len());
+        for (row, want) in r.rows.iter().zip(expected) {
+            assert_eq!(row, want, "fig_fleet row drifted from the pinned baseline");
+        }
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.contains("conservation holds at every operating point: true")));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use backscatter_sim::energy::{EnergyModel, TransmissionProfile};
 use backscatter_sim::scenario::Scenario;
 
 use crate::identification::{IdentificationConfig, IdentificationOutcome, Identifier};
-use crate::transfer::{score_against_truth, DataTransfer, TransferConfig, TransferOutcome};
+use crate::transfer::{
+    per_tag_delivery, score_against_truth, DataTransfer, TransferConfig, TransferOutcome,
+};
 use crate::BuzzResult;
 
 /// Configuration of the full protocol.
@@ -41,6 +43,10 @@ pub struct BuzzOutcome {
     pub correct_messages: usize,
     /// Messages missing or decoded incorrectly.
     pub incorrect_messages: usize,
+    /// Per-tag delivery flags in tag order (`true` iff that tag's message
+    /// decoded correctly) — the attribution the fleet layer carries
+    /// undelivered state across sessions with.
+    pub per_tag_delivered: Vec<bool>,
     /// Per-tag energy consumed across both phases, joules.
     pub per_tag_energy_j: Vec<f64>,
 }
@@ -139,6 +145,7 @@ impl BuzzProtocol {
         let transfer_driver = DataTransfer::new(self.config.transfer)?;
         let transfer = transfer_driver.run(scenario.tags(), &discovered, &mut medium)?;
         let (correct, incorrect) = score_against_truth(&transfer, &discovered, scenario.tags());
+        let per_tag_delivered = per_tag_delivery(&transfer, &discovered, scenario.tags());
 
         // Energy accounting: identification slots are single-bit transmissions
         // with roughly 50 % participation; the data phase repeats the framed
@@ -173,6 +180,7 @@ impl BuzzProtocol {
             transfer,
             correct_messages: correct,
             incorrect_messages: incorrect,
+            per_tag_delivered,
             per_tag_energy_j,
         })
     }

@@ -51,7 +51,7 @@ use crate::identification::{DiscoveredTag, Identifier};
 use crate::protocol::{BuzzConfig, BuzzOutcome};
 use crate::rateless::ParticipationCode;
 use crate::session::{Protocol, RecoveryDiagnostics, SessionError, SessionOutcome, SessionResult};
-use crate::transfer::{score_against_truth, TransferOutcome};
+use crate::transfer::{per_tag_delivery, score_against_truth, TransferOutcome};
 use crate::{BuzzError, BuzzResult};
 
 /// Salt for epoch reseeding: epoch `e ≥ 1` participation streams derive from
@@ -250,6 +250,9 @@ impl ResilientBuzzProtocol {
         let (transfer, diagnostics) =
             self.run_transfer(scenario.tags(), &discovered, &mut medium)?;
         let (correct, incorrect) = score_against_truth(&transfer, &discovered, scenario.tags());
+        // The fallback's polled deliveries land in `transfer.decoded_payloads`
+        // like any decoded column, so per-tag attribution covers them too.
+        let per_tag_delivered = per_tag_delivery(&transfer, &discovered, scenario.tags());
 
         // Energy accounting mirrors the plain protocol: identification slots
         // are single-bit transmissions at ~50 % participation, and each data
@@ -285,6 +288,7 @@ impl ResilientBuzzProtocol {
                 transfer,
                 correct_messages: correct,
                 incorrect_messages: incorrect,
+                per_tag_delivered,
                 per_tag_energy_j,
             },
             diagnostics,

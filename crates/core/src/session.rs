@@ -137,6 +137,11 @@ pub struct SessionOutcome {
     pub lost_messages: usize,
     /// Total air time of the session in milliseconds.
     pub wall_time_ms: f64,
+    /// Per-tag delivery flags in scenario tag order (`true` iff that tag's
+    /// message arrived correctly).  Empty when the scheme cannot attribute
+    /// deliveries to individual tags (e.g. the analytic FSA inventory model);
+    /// the fleet layer then falls back to a deterministic attribution.
+    pub per_tag_delivered: Vec<bool>,
     /// Per-tag energy consumed, joules (empty when the scheme's adapter does
     /// not account energy).
     pub per_tag_energy_j: Vec<f64>,
@@ -210,6 +215,7 @@ impl From<BuzzOutcome> for SessionOutcome {
             delivered_messages: outcome.correct_messages,
             lost_messages: outcome.incorrect_messages,
             wall_time_ms,
+            per_tag_delivered: outcome.per_tag_delivered,
             per_tag_energy_j: outcome.per_tag_energy_j,
             slots_used,
             diagnostics: Some(diagnostics),
@@ -224,6 +230,9 @@ impl From<FsaOutcome> for SessionOutcome {
             delivered_messages: outcome.identified,
             lost_messages: outcome.unidentified(),
             wall_time_ms: outcome.time_ms(),
+            // The analytic inventory model counts identifications without
+            // attributing them to specific tags.
+            per_tag_delivered: Vec::new(),
             per_tag_energy_j: Vec::new(),
             slots_used: outcome.total_slots(),
             diagnostics: None,
@@ -301,6 +310,11 @@ mod tests {
         assert!(outcome.wall_time_ms > 0.0);
         assert!(outcome.slots_used > 0);
         assert_eq!(outcome.per_tag_energy_j.len(), 4);
+        assert_eq!(outcome.per_tag_delivered.len(), 4);
+        assert_eq!(
+            outcome.per_tag_delivered.iter().filter(|&&d| d).count(),
+            outcome.delivered_messages
+        );
         let diag = outcome.diagnostics.as_ref().unwrap();
         assert!(diag.identification_time_ms.is_some());
         assert!(diag.k_estimate_rounded.is_some());
@@ -332,6 +346,7 @@ mod tests {
             delivered_messages: 16,
             lost_messages: 0,
             wall_time_ms: 8.0,
+            per_tag_delivered: Vec::new(),
             per_tag_energy_j: Vec::new(),
             slots_used: 40,
             diagnostics: None,

@@ -359,6 +359,36 @@ pub fn score_against_truth(
     (correct, wrong)
 }
 
+/// Per-tag delivery flags in *tag order*: `flags[i]` is `true` iff the column
+/// holding tag `i`'s temporary id decoded to exactly that tag's message.
+///
+/// This is the attribution the fleet layer needs to carry undelivered
+/// messages across sessions — [`score_against_truth`] aggregates the same
+/// comparison into counts, this keeps it per tag.  A tag whose temporary id
+/// was never discovered (a missed identification) reports `false`.
+#[must_use]
+pub fn per_tag_delivery(
+    outcome: &TransferOutcome,
+    discovered: &[DiscoveredTag],
+    tags: &[SimTag],
+) -> Vec<bool> {
+    let index_by_seed: std::collections::HashMap<NodeSeed, usize> = tags
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.node_seed, i))
+        .collect();
+    let mut delivered = vec![false; tags.len()];
+    for (col, decoded) in outcome.decoded_payloads.iter().enumerate() {
+        let Some(payload) = decoded else { continue };
+        if let Some(&i) = index_by_seed.get(&NodeSeed(discovered[col].temporary_id)) {
+            if payload.as_slice() == tags[i].message.payload() {
+                delivered[i] = true;
+            }
+        }
+    }
+    delivered
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,5 +625,24 @@ mod tests {
         assert_eq!(outcome.decoded_payloads.len(), 5);
         let (correct, _) = score_against_truth(&outcome, &discovered, scenario.tags());
         assert!(correct >= 3, "only {correct} of 5 decoded correctly");
+    }
+
+    #[test]
+    fn per_tag_delivery_agrees_with_aggregate_scoring() {
+        // The per-tag attribution must sum to exactly what the aggregate
+        // scorer counts, including when a tag is hidden from the reader.
+        let (scenario, mut discovered) = genie_setup(6, 51);
+        discovered.pop();
+        let mut medium = scenario.medium(13).unwrap();
+        let transfer = DataTransfer::new(TransferConfig::default()).unwrap();
+        let outcome = transfer
+            .run(scenario.tags(), &discovered, &mut medium)
+            .unwrap();
+        let (correct, _) = score_against_truth(&outcome, &discovered, scenario.tags());
+        let flags = per_tag_delivery(&outcome, &discovered, scenario.tags());
+        assert_eq!(flags.len(), 6);
+        assert_eq!(flags.iter().filter(|&&d| d).count(), correct);
+        // The undiscovered tag can never be marked delivered.
+        assert!(!flags[5]);
     }
 }

@@ -1,0 +1,306 @@
+//! The shared persistent tag population.
+//!
+//! A warehouse fleet serves one population: every tag has a stable global
+//! identity, and a message that a session fails to deliver stays *pending* —
+//! carried to whichever reader inventories the tag next.  This module owns
+//! that state and the bookkeeping that makes fleet-level accounting exact:
+//!
+//! * a message is **offered** when a tag joining a session has nothing
+//!   pending and generates a fresh reading,
+//! * it is **delivered** when some session gets it through correctly,
+//! * it is **expired** (counted lost) when it has been carried through more
+//!   than `max_carry` failed sessions — the warehouse analogue of a sensor
+//!   reading going stale,
+//! * anything else is **carried over**, still pending at the end of the run.
+//!
+//! Conservation — `offered == delivered + expired + carried_over` — is the
+//! fleet invariant the property tests pin; every transition below preserves
+//! it by construction.
+//!
+//! Presence across epochs follows the `TagChurn` dynamics style: a pure
+//! seeded hash per `(tag, epoch)`, so arrival/departure is deterministic and
+//! independent of execution order.
+
+use std::collections::HashSet;
+
+use backscatter_codes::message::Message;
+use backscatter_prng::{Rng64, SplitMix64, Xoshiro256};
+
+use crate::{FleetError, FleetResult};
+
+/// Stream salt separating global-id draws from other fleet randomness.
+const ID_STREAM: u64 = 0x1dc0_11ec;
+/// Stream salt for per-tag message generation.
+const MESSAGE_STREAM: u64 = 0x5e4d_ab1e;
+/// Stream salt for the churn presence hash.
+const CHURN_STREAM: u64 = 0xc4u64 << 32 | 0x12_3975;
+
+/// A message waiting to be delivered, with its carry history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingMessage {
+    /// The payload the tag is carrying.
+    pub message: Message,
+    /// Completed sessions that tried and failed to deliver it.
+    pub sessions_carried: usize,
+}
+
+/// One tag's persistent state across the whole fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTagState {
+    /// The tag's stable global identifier.
+    pub global_id: u64,
+    /// The message currently pending delivery, if any.
+    pub pending: Option<PendingMessage>,
+    /// Messages this tag has generated so far (seeds the next draw).
+    pub generation: u64,
+}
+
+/// The shared tag population and its conservation counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    seed: u64,
+    message_bits: usize,
+    tags: Vec<FleetTagState>,
+    offered: usize,
+    delivered: usize,
+    expired: usize,
+}
+
+impl Population {
+    /// Creates a population of `size` tags with distinct global ids drawn
+    /// from `[0, global_id_space)`, all initially idle (nothing pending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidParameter`] for a zero size, a zero
+    /// message length, or an id space smaller than the population.
+    pub fn new(
+        size: usize,
+        global_id_space: u64,
+        message_bits: usize,
+        seed: u64,
+    ) -> FleetResult<Self> {
+        if size == 0 {
+            return Err(FleetError::InvalidParameter(
+                "population must have at least one tag",
+            ));
+        }
+        if message_bits == 0 {
+            return Err(FleetError::InvalidParameter("messages must be non-empty"));
+        }
+        if global_id_space < size as u64 {
+            return Err(FleetError::InvalidParameter(
+                "global id space must be at least the population size",
+            ));
+        }
+        let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(seed, ID_STREAM));
+        let mut seen: HashSet<u64> = HashSet::with_capacity(size);
+        let mut tags = Vec::with_capacity(size);
+        for _ in 0..size {
+            let mut gid = rng.next_bounded(global_id_space);
+            while seen.contains(&gid) {
+                gid = rng.next_bounded(global_id_space);
+            }
+            seen.insert(gid);
+            tags.push(FleetTagState {
+                global_id: gid,
+                pending: None,
+                generation: 0,
+            });
+        }
+        Ok(Self {
+            seed,
+            message_bits,
+            tags,
+            offered: 0,
+            delivered: 0,
+            expired: 0,
+        })
+    }
+
+    /// Number of tags in the population.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the population is empty (never true for a built population).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The tags (immutable view).
+    #[must_use]
+    pub fn tags(&self) -> &[FleetTagState] {
+        &self.tags
+    }
+
+    /// Whether tag `index` is on the warehouse floor during `epoch`.
+    ///
+    /// Pure in `(population seed, global id, epoch)` — the `TagChurn` style
+    /// of seeded presence, at epoch granularity: re-consultation from any
+    /// thread or replay order gives the same answer, and each tag's
+    /// presence stream is independent of every other's.
+    #[must_use]
+    pub fn is_present(&self, index: usize, epoch: u64, away_fraction: f64) -> bool {
+        let gid = self.tags[index].global_id;
+        let h = SplitMix64::mix(SplitMix64::mix(self.seed ^ CHURN_STREAM, gid), epoch);
+        // 53 uniform mantissa bits -> [0, 1).
+        let fraction = (h >> 11) as f64 / (1u64 << 53) as f64;
+        fraction >= away_fraction
+    }
+
+    /// Ensures tag `index` has a message pending (generating — and counting
+    /// as offered — a fresh one if idle) and returns a copy for the session
+    /// scenario.
+    pub fn offer(&mut self, index: usize) -> Message {
+        let bits = self.message_bits;
+        let seed = self.seed;
+        let tag = &mut self.tags[index];
+        if tag.pending.is_none() {
+            let msg_seed = SplitMix64::mix(
+                SplitMix64::mix(seed ^ MESSAGE_STREAM, tag.global_id),
+                tag.generation,
+            );
+            let message = Message::random(msg_seed, bits)
+                .expect("message_bits validated at population construction");
+            tag.generation += 1;
+            tag.pending = Some(PendingMessage {
+                message,
+                sessions_carried: 0,
+            });
+            self.offered += 1;
+        }
+        tag.pending
+            .as_ref()
+            .map(|p| p.message.clone())
+            .expect("pending message just ensured")
+    }
+
+    /// Commits one session's verdict for tag `index`: a delivery clears the
+    /// pending message; a failure increments its carry count and expires it
+    /// (counted lost) once it has been carried through more than `max_carry`
+    /// failed sessions.
+    pub fn commit(&mut self, index: usize, delivered: bool, max_carry: usize) {
+        let tag = &mut self.tags[index];
+        let Some(pending) = tag.pending.as_mut() else {
+            return;
+        };
+        if delivered {
+            tag.pending = None;
+            self.delivered += 1;
+        } else {
+            pending.sessions_carried += 1;
+            if pending.sessions_carried > max_carry {
+                tag.pending = None;
+                self.expired += 1;
+            }
+        }
+    }
+
+    /// Messages generated (offered for delivery) so far.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Messages delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Messages expired (lost) after exceeding their carry budget.
+    #[must_use]
+    pub fn expired(&self) -> usize {
+        self.expired
+    }
+
+    /// Messages still pending delivery right now.
+    #[must_use]
+    pub fn carried_over(&self) -> usize {
+        self.tags.iter().filter(|t| t.pending.is_some()).count()
+    }
+
+    /// The fleet conservation invariant: every offered message is delivered,
+    /// expired, or still pending.
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        self.offered == self.delivered + self.expired + self.carried_over()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_validated() {
+        assert!(Population::new(0, 10, 32, 1).is_err());
+        assert!(Population::new(4, 10, 0, 1).is_err());
+        assert!(Population::new(4, 3, 32, 1).is_err());
+        assert!(Population::new(4, 4, 32, 1).is_ok());
+    }
+
+    #[test]
+    fn global_ids_are_distinct_and_deterministic() {
+        let a = Population::new(256, 1_000, 32, 7).unwrap();
+        let b = Population::new(256, 1_000, 32, 7).unwrap();
+        assert_eq!(a, b);
+        let mut ids: Vec<u64> = a.tags().iter().map(|t| t.global_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 256);
+    }
+
+    #[test]
+    fn presence_is_pure_and_roughly_calibrated() {
+        let p = Population::new(500, 1_000_000, 32, 11).unwrap();
+        // Pure: same query, same answer.
+        for index in [0usize, 100, 499] {
+            assert_eq!(p.is_present(index, 3, 0.25), p.is_present(index, 3, 0.25));
+        }
+        // Calibrated: ~75 % present at away_fraction 0.25.
+        let present = (0..500).filter(|&i| p.is_present(i, 1, 0.25)).count();
+        assert!((300..=450).contains(&present), "present = {present}");
+        // Everyone is present with churn disabled.
+        assert_eq!((0..500).filter(|&i| p.is_present(i, 1, 0.0)).count(), 500);
+    }
+
+    #[test]
+    fn offer_generates_once_and_redelivers_while_pending() {
+        let mut p = Population::new(4, 100, 32, 3).unwrap();
+        let first = p.offer(0);
+        assert_eq!(p.offered(), 1);
+        // A second offer while pending returns the same message, not a new one.
+        let again = p.offer(0);
+        assert_eq!(first, again);
+        assert_eq!(p.offered(), 1);
+        // After delivery, the next offer generates a fresh (different) message.
+        p.commit(0, true, 2);
+        assert_eq!(p.delivered(), 1);
+        let fresh = p.offer(0);
+        assert_ne!(first, fresh);
+        assert_eq!(p.offered(), 2);
+        assert!(p.conservation_holds());
+    }
+
+    #[test]
+    fn carry_budget_expires_messages() {
+        let mut p = Population::new(2, 100, 32, 5).unwrap();
+        p.offer(0);
+        // max_carry = 1: first failure carries, second expires.
+        p.commit(0, false, 1);
+        assert_eq!(p.carried_over(), 1);
+        assert_eq!(p.expired(), 0);
+        p.commit(0, false, 1);
+        assert_eq!(p.carried_over(), 0);
+        assert_eq!(p.expired(), 1);
+        assert!(p.conservation_holds());
+        // Committing an idle tag is a no-op.
+        p.commit(1, true, 1);
+        assert_eq!(p.delivered(), 0);
+        assert!(p.conservation_holds());
+    }
+}

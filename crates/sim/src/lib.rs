@@ -41,7 +41,9 @@ pub use faults::{
 };
 pub use geometry::{cart_layout, Position, TablePlacement};
 pub use medium::{Medium, MediumConfig, SlotLog};
-pub use scenario::{Placement, Scenario, ScenarioBuilder, ScenarioConfig, SnrProfile};
+pub use scenario::{
+    PersistentTag, Placement, Scenario, ScenarioBuilder, ScenarioConfig, SnrProfile,
+};
 pub use tag::SimTag;
 
 /// Errors produced by the simulator.

@@ -119,6 +119,24 @@ impl ScenarioConfig {
     }
 }
 
+/// Identity and payload state a tag carries *across* sessions.
+///
+/// The fleet layer (`backscatter_fleet`) keeps a warehouse-wide population of
+/// tags whose global ids and undelivered messages persist between reader
+/// sessions.  Handing a list of these to
+/// [`ScenarioBuilder::persistent_tags`] builds a scenario whose tags keep
+/// exactly these identities and payloads while everything environmental —
+/// placement, channels, clocks, sync jitter, the noise floor — is still drawn
+/// deterministically from the scenario seed, the way a tag physically carried
+/// to a new reader keeps its EPC and queued message but sees a fresh channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistentTag {
+    /// The tag's global identifier (stable across sessions).
+    pub global_id: u64,
+    /// The message the tag is currently carrying.
+    pub message: Message,
+}
+
 /// How the builder pins the noise floor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SnrProfile {
@@ -164,6 +182,7 @@ pub struct ScenarioBuilder {
     config: ScenarioConfig,
     dynamics: Vec<Arc<dyn ScenarioDynamics>>,
     faults: Vec<Arc<dyn FaultInjector>>,
+    persistent: Vec<PersistentTag>,
 }
 
 impl ScenarioBuilder {
@@ -182,6 +201,7 @@ impl ScenarioBuilder {
             config: ScenarioConfig::paper_uplink(k, seed),
             dynamics: Vec::new(),
             faults: Vec::new(),
+            persistent: Vec::new(),
         }
     }
 
@@ -193,6 +213,7 @@ impl ScenarioBuilder {
             config: ScenarioConfig::challenging(k, seed, median_snr_db),
             dynamics: Vec::new(),
             faults: Vec::new(),
+            persistent: Vec::new(),
         }
     }
 
@@ -287,6 +308,23 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Builds the scenario's tags from a persistent population instead of
+    /// drawing fresh identities and payloads: tag `i` keeps
+    /// `tags[i].global_id` and `tags[i].message` verbatim, while placement,
+    /// channels, clocks, sync jitter, and the noise floor are still drawn
+    /// deterministically from the scenario seed (a tag carried to a new
+    /// reader keeps its EPC and queued payload but sees a fresh channel).
+    ///
+    /// The list length must equal the builder's `k`, the global ids must be
+    /// distinct, and all messages must share one non-zero bit length —
+    /// enforced by [`ScenarioBuilder::build`].  An empty list keeps the
+    /// legacy draw path bit-identical.
+    #[must_use]
+    pub fn persistent_tags(mut self, tags: Vec<PersistentTag>) -> Self {
+        self.persistent = tags;
+        self
+    }
+
     /// The configuration the builder would hand to [`Scenario::build`].
     #[must_use]
     pub fn config(&self) -> &ScenarioConfig {
@@ -299,7 +337,7 @@ impl ScenarioBuilder {
     ///
     /// Returns [`SimError::InvalidParameter`] for an invalid configuration.
     pub fn build(self) -> SimResult<Scenario> {
-        let mut scenario = Scenario::build(self.config)?;
+        let mut scenario = Scenario::build_with_persistent(self.config, &self.persistent)?;
         scenario.dynamics = self.dynamics;
         scenario.faults = self.faults;
         Ok(scenario)
@@ -339,7 +377,44 @@ impl Scenario {
     ///
     /// Returns [`SimError::InvalidParameter`] for an invalid configuration.
     pub fn build(config: ScenarioConfig) -> SimResult<Self> {
+        Self::build_with_persistent(config, &[])
+    }
+
+    /// Builds a scenario whose tag identities and messages come from a
+    /// persistent population (see [`ScenarioBuilder::persistent_tags`]).  An
+    /// empty `persistent` slice is exactly [`Scenario::build`] — the legacy
+    /// draw path, bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an invalid configuration,
+    /// a persistent list whose length differs from `config.k`, duplicate
+    /// global ids, or messages of mismatched/zero length.
+    pub fn build_with_persistent(
+        config: ScenarioConfig,
+        persistent: &[PersistentTag],
+    ) -> SimResult<Self> {
         config.validate()?;
+        if !persistent.is_empty() {
+            if persistent.len() != config.k {
+                return Err(SimError::InvalidParameter(
+                    "persistent tag list must have exactly K entries",
+                ));
+            }
+            let mut seen = HashSet::with_capacity(persistent.len());
+            for tag in persistent {
+                if !seen.insert(tag.global_id) {
+                    return Err(SimError::InvalidParameter(
+                        "persistent global ids must be distinct",
+                    ));
+                }
+                if tag.message.is_empty() || tag.message.len() != persistent[0].message.len() {
+                    return Err(SimError::InvalidParameter(
+                        "persistent messages must share one non-zero bit length",
+                    ));
+                }
+            }
+        }
         let mut rng = Xoshiro256::seed_from_u64(SplitMix64::mix(config.seed, 0x5ce9a210));
 
         let placement = cart_layout(config.k, config.cart_distance_m, rng.next_u64())?;
@@ -374,14 +449,24 @@ impl Scenario {
         let mut global_ids: HashSet<u64> = HashSet::with_capacity(config.k);
         let mut tags = Vec::with_capacity(config.k);
         for (i, channel) in channels.iter().enumerate() {
-            // Draw a distinct global id for each tag.
-            let mut gid = rng.next_bounded(config.global_id_space);
-            while global_ids.contains(&gid) {
-                gid = rng.next_bounded(config.global_id_space);
-            }
-            global_ids.insert(gid);
-
-            let message = Message::random(SplitMix64::mix(config.seed, gid), config.message_bits)?;
+            // Identity and payload: carried over verbatim for a persistent
+            // population, freshly drawn otherwise.  The persistent branch
+            // consumes no rng draws here, so the environmental draws below
+            // (clock, jitter) stay a pure function of the scenario seed
+            // regardless of which identities ride in.
+            let (gid, message) = if let Some(p) = persistent.get(i) {
+                (p.global_id, p.message.clone())
+            } else {
+                // Draw a distinct global id for each tag.
+                let mut gid = rng.next_bounded(config.global_id_space);
+                while global_ids.contains(&gid) {
+                    gid = rng.next_bounded(config.global_id_space);
+                }
+                global_ids.insert(gid);
+                let message =
+                    Message::random(SplitMix64::mix(config.seed, gid), config.message_bits)?;
+                (gid, message)
+            };
             tags.push(SimTag {
                 index: i,
                 global_id: gid,
@@ -724,6 +809,93 @@ mod tests {
         };
         assert_eq!(pattern(&a), pattern(&b));
         assert_ne!(pattern(&a), pattern(&c));
+    }
+
+    #[test]
+    fn persistent_tags_keep_identity_and_payload_but_redraw_the_environment() {
+        let carried: Vec<PersistentTag> = (0..4)
+            .map(|i| PersistentTag {
+                global_id: 9_000 + i,
+                message: Message::random(100 + i, 32).unwrap(),
+            })
+            .collect();
+        let a = Scenario::builder(4)
+            .seed(21)
+            .persistent_tags(carried.clone())
+            .build()
+            .unwrap();
+        for (tag, p) in a.tags().iter().zip(&carried) {
+            assert_eq!(tag.global_id, p.global_id);
+            assert_eq!(tag.node_seed, NodeSeed(p.global_id));
+            assert_eq!(tag.message, p.message);
+        }
+        // Same persistent population at a different seed: identities stay,
+        // channels move — the tag walked to a different reader.
+        let b = Scenario::builder(4)
+            .seed(22)
+            .persistent_tags(carried.clone())
+            .build()
+            .unwrap();
+        assert!(a
+            .tags()
+            .iter()
+            .zip(b.tags())
+            .any(|(x, y)| x.channel != y.channel));
+        for (x, y) in a.tags().iter().zip(b.tags()) {
+            assert_eq!(x.global_id, y.global_id);
+            assert_eq!(x.message, y.message);
+        }
+        // Deterministic: the same (seed, population) rebuilds bit-identically.
+        let a2 = Scenario::builder(4)
+            .seed(21)
+            .persistent_tags(carried)
+            .build()
+            .unwrap();
+        for (x, y) in a.tags().iter().zip(a2.tags()) {
+            assert_eq!(x.channel, y.channel);
+            assert_eq!(x.initial_offset_us, y.initial_offset_us);
+        }
+    }
+
+    #[test]
+    fn persistent_tags_are_validated() {
+        let msg = |s: u64, bits: usize| Message::random(s, bits).unwrap();
+        // Wrong length.
+        assert!(Scenario::builder(3)
+            .persistent_tags(vec![PersistentTag {
+                global_id: 1,
+                message: msg(1, 32),
+            }])
+            .build()
+            .is_err());
+        // Duplicate global ids.
+        assert!(Scenario::builder(2)
+            .persistent_tags(vec![
+                PersistentTag {
+                    global_id: 7,
+                    message: msg(1, 32),
+                },
+                PersistentTag {
+                    global_id: 7,
+                    message: msg(2, 32),
+                },
+            ])
+            .build()
+            .is_err());
+        // Mismatched message lengths.
+        assert!(Scenario::builder(2)
+            .persistent_tags(vec![
+                PersistentTag {
+                    global_id: 1,
+                    message: msg(1, 32),
+                },
+                PersistentTag {
+                    global_id: 2,
+                    message: msg(2, 96),
+                },
+            ])
+            .build()
+            .is_err());
     }
 
     #[test]

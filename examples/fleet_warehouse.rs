@@ -1,0 +1,65 @@
+//! Fleet mode: 200 staggered readers over one shared 10,000-tag population.
+//!
+//! The paper evaluates one reader and one cart of tags; this example runs
+//! the warehouse extrapolation from `backscatter_fleet`: 200 readers power
+//! up 2 ms apart and each inventories cells of K = 16 tags drawn from a
+//! shared population whose tags keep their identity — and any undelivered
+//! message — across sessions.  Ten percent of the tags are off the floor in
+//! any given epoch, so a message can be offered in one epoch and only
+//! delivered (or expired) sessions later.  The run reports the aggregate
+//! fleet headline: total msgs/s, p50/p99 session latency, energy per
+//! delivered message, utilization, and the conservation check
+//! `offered == delivered + lost + carried over`.
+//!
+//! Run with: `cargo run --release --example fleet_warehouse`
+
+use backscatter_fleet::{run_fleet, FleetConfig};
+use buzz::protocol::{BuzzConfig, BuzzProtocol};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FleetConfig {
+        readers: 200,
+        population: 10_000,
+        cell_k: 16,
+        epochs: 2,
+        seed: 2012,
+        ..FleetConfig::default()
+    };
+    let protocol = BuzzProtocol::new(BuzzConfig {
+        periodic_mode: true,
+        ..BuzzConfig::default()
+    })?;
+    let threads = std::thread::available_parallelism()?.get();
+    let outcome = run_fleet(&protocol, &config, threads)?;
+
+    println!(
+        "fleet: {} readers, {} tags, {} epochs, K = {} per cell, {threads} worker threads",
+        outcome.readers, outcome.population, outcome.epochs, config.cell_k
+    );
+    println!(
+        "sessions: {} ({} peak concurrent), makespan {:.1} ms simulated",
+        outcome.sessions, outcome.peak_concurrent_sessions, outcome.makespan_ms
+    );
+    println!(
+        "messages: {} offered = {} delivered + {} lost + {} carried over (conservation: {})",
+        outcome.offered,
+        outcome.delivered,
+        outcome.lost,
+        outcome.carried_over,
+        outcome.conservation_holds()
+    );
+    println!(
+        "headline: {:.0} msgs/s aggregate, session latency p50 {:.2} ms / p99 {:.2} ms",
+        outcome.total_msgs_per_s, outcome.p50_session_ms, outcome.p99_session_ms
+    );
+    println!(
+        "energy: {:.2} uJ per delivered message; mean reader utilization {:.1}%",
+        outcome.energy_per_delivered_j * 1e6,
+        outcome.mean_utilization * 100.0
+    );
+    println!(
+        "host compute: {:.0} ms total across sessions (profiling only, not deterministic)",
+        outcome.total_host_ms()
+    );
+    Ok(())
+}

@@ -14,12 +14,15 @@
 //! * [`recovery`] — compressive-sensing substrate ([`sparse_recovery`])
 //! * [`protocol`] — the Buzz protocol itself ([`buzz`])
 //! * [`baselines`] — TDMA / CDMA / FSA baselines ([`backscatter_baselines`])
+//! * [`fleet`] — warehouse-scale fleets of readers over a shared persistent
+//!   tag population ([`backscatter_fleet`])
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use backscatter_baselines as baselines;
 pub use backscatter_codes as codes;
+pub use backscatter_fleet as fleet;
 pub use backscatter_gen2 as gen2;
 pub use backscatter_phy as phy;
 pub use backscatter_prng as prng;
@@ -33,6 +36,7 @@ pub use sparse_recovery as recovery;
 pub use backscatter_baselines::session::{
     CdmaProtocol, FsaIdentification, FsaWithEstimatedK, TdmaProtocol,
 };
+pub use backscatter_fleet::{run_fleet, FleetConfig, FleetOutcome};
 pub use backscatter_sim::dynamics::{
     BurstyInterference, HeterogeneousTagPower, Mobility, ScenarioDynamics,
 };
@@ -60,5 +64,7 @@ mod tests {
         let _ = crate::ScenarioBuilder::new(1);
         let _ = crate::FsaIdentification;
         let _ = crate::Mobility::walking_pace();
+        let _ = crate::fleet::FleetConfig::default();
+        let _ = crate::FleetConfig::default();
     }
 }

@@ -4,6 +4,7 @@ use buzz_suite::codes::message::Message;
 use buzz_suite::codes::sparse_matrix::SparseBinaryMatrix;
 use buzz_suite::codes::walsh::WalshCode;
 use buzz_suite::codes::{Crc16, Crc5};
+use buzz_suite::fleet::{run_fleet, FleetConfig};
 use buzz_suite::phy::channel::Channel;
 use buzz_suite::phy::complex::Complex;
 use buzz_suite::phy::linecode::{Fm0, LineCode, Miller};
@@ -11,6 +12,7 @@ use buzz_suite::phy::modulation::collide;
 use buzz_suite::prng::{NodeSeed, Rng64, Xoshiro256};
 use buzz_suite::recovery::kest::expected_empty_fraction;
 use buzz_suite::recovery::SupportRecovery;
+use buzz_suite::TdmaProtocol;
 use proptest::prelude::*;
 
 proptest! {
@@ -172,6 +174,49 @@ proptest! {
             let x = a.next_bounded(bound);
             prop_assert_eq!(x, b.next_bounded(bound));
             prop_assert!(x < bound);
+        }
+    }
+}
+
+// Fleet-layer invariants run over full (small) warehouse runs, so they get
+// their own block: each case is an end-to-end fleet of TDMA sessions over a
+// shared persistent population.
+proptest! {
+    /// Fleet message conservation: every message the population offers is
+    /// delivered, expired as lost, or still carried over at the end of the
+    /// run — for any fleet shape, churn level, and carry budget.
+    #[test]
+    fn fleet_conserves_messages(
+        seed in any::<u64>(),
+        readers in 1usize..5,
+        cells in 1usize..6,
+        epochs in 1usize..4,
+        away_pct in 0u32..50,
+        max_carry in 0usize..3,
+    ) {
+        let config = FleetConfig {
+            readers,
+            population: cells * 4,
+            cell_k: 4,
+            epochs,
+            seed,
+            away_fraction: f64::from(away_pct) / 100.0,
+            max_carry,
+            ..FleetConfig::default()
+        };
+        let tdma = TdmaProtocol::paper_default().unwrap();
+        let outcome = run_fleet(&tdma, &config, 2).unwrap();
+        prop_assert!(outcome.conservation_holds());
+        prop_assert_eq!(
+            outcome.offered,
+            outcome.delivered + outcome.lost + outcome.carried_over
+        );
+        // No more sessions than readers x epochs, and every session's cell
+        // is exactly cell_k tags.
+        prop_assert!(outcome.sessions <= readers * epochs);
+        for record in &outcome.records {
+            prop_assert_eq!(record.tag_ids.len(), 4);
+            prop_assert_eq!(record.delivered_flags.len(), 4);
         }
     }
 }
