@@ -9,8 +9,14 @@
 //! cargo bench -p backscatter_bench --bench decoders_large_k | tee bench.out
 //! cargo run --release -p backscatter_bench --bin perf_gate -- \
 //!     --baseline crates/bench/benches/decoders_large_k.baseline.json \
-//!     --bench-output bench.out [--factor 1.5] [--summary summary.md]
+//!     --bench-output bench.out [--factor 1.5] [--floor-ms 0.05] \
+//!     [--summary summary.md]
 //! ```
+//!
+//! An entry regresses when `measured > baseline * factor + floor`.  The
+//! absolute floor (default 0.05 ms) keeps microsecond-scale entries — pure
+//! scheduler/timer noise on shared CI runners — from flaking a purely
+//! relative gate, while leaving millisecond-scale regressions fully gated.
 //!
 //! The gate prints a markdown table (and appends it to `--summary` when
 //! given — CI passes `$GITHUB_STEP_SUMMARY`), then exits non-zero if any
@@ -105,8 +111,14 @@ enum Verdict {
 }
 
 /// Gates `measured` against `baseline`: per baseline entry, the measured
-/// mean must stay under `factor ×` the recorded mean.
-fn gate(baseline: &[Entry], measured: &[Entry], factor: f64) -> Vec<(String, f64, Verdict)> {
+/// mean must stay under `factor ×` the recorded mean plus the absolute
+/// `floor_ms` grace (which is what keeps microsecond entries gateable).
+fn gate(
+    baseline: &[Entry],
+    measured: &[Entry],
+    factor: f64,
+    floor_ms: f64,
+) -> Vec<(String, f64, Verdict)> {
     baseline
         .iter()
         .map(|b| {
@@ -114,7 +126,7 @@ fn gate(baseline: &[Entry], measured: &[Entry], factor: f64) -> Vec<(String, f64
                 None => Verdict::Missing,
                 Some(m) => {
                     let ratio = m.mean_ms / b.mean_ms.max(1e-12);
-                    if ratio > factor {
+                    if m.mean_ms > b.mean_ms * factor + floor_ms {
                         Verdict::Regressed(ratio)
                     } else {
                         Verdict::Ok(ratio)
@@ -189,6 +201,7 @@ fn main() -> ExitCode {
     let mut baseline_path = String::new();
     let mut bench_output_path = String::new();
     let mut factor = 1.5f64;
+    let mut floor_ms = 0.05f64;
     let mut summary_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -196,12 +209,16 @@ fn main() -> ExitCode {
             "--baseline" => baseline_path = it.next().cloned().unwrap_or_default(),
             "--bench-output" => bench_output_path = it.next().cloned().unwrap_or_default(),
             "--factor" => factor = it.next().and_then(|v| v.parse().ok()).unwrap_or(factor),
+            "--floor-ms" => floor_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or(floor_ms),
             "--summary" => summary_path = it.next().cloned(),
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
     if baseline_path.is_empty() || bench_output_path.is_empty() {
-        eprintln!("usage: perf_gate --baseline <json> --bench-output <file> [--factor 1.5] [--summary <md>]");
+        eprintln!(
+            "usage: perf_gate --baseline <json> --bench-output <file> \
+             [--factor 1.5] [--floor-ms 0.05] [--summary <md>]"
+        );
         return ExitCode::from(2);
     }
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
@@ -224,7 +241,7 @@ fn main() -> ExitCode {
         eprintln!("no entries parsed from {baseline_path}; refusing to pass an empty gate");
         return ExitCode::from(2);
     }
-    let rows = gate(&baseline, &measured, factor);
+    let rows = gate(&baseline, &measured, factor, floor_ms);
     let (markdown, failed) = render_markdown(&rows, &measured, factor);
     println!("{markdown}");
     if let Some(path) = summary_path {
@@ -284,7 +301,7 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
                 mean_ms: 5.0, // faster
             },
         ];
-        let rows = gate(&baseline, &measured, 1.5);
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
         assert!(rows
             .iter()
             .all(|(_, _, verdict)| matches!(verdict, Verdict::Ok(_))));
@@ -308,11 +325,43 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
                 mean_ms: 24.613 * 2.0,
             },
         ];
-        let rows = gate(&baseline, &measured, 1.5);
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
         let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
         assert!(failed);
         assert!(markdown.contains("❌ regressed"));
         assert!(matches!(rows[1].2, Verdict::Regressed(r) if (r - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn absolute_floor_shields_microsecond_entries_only() {
+        let baseline = vec![
+            Entry {
+                id: "suite/tiny".into(),
+                mean_ms: 0.008,
+            },
+            Entry {
+                id: "suite/big".into(),
+                mean_ms: 100.0,
+            },
+        ];
+        // The tiny entry doubles (timer noise) but stays under the floor;
+        // the big entry doubles and must still fail.
+        let measured = vec![
+            Entry {
+                id: "suite/tiny".into(),
+                mean_ms: 0.016,
+            },
+            Entry {
+                id: "suite/big".into(),
+                mean_ms: 200.0,
+            },
+        ];
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
+        assert!(matches!(rows[0].2, Verdict::Ok(_)));
+        assert!(matches!(rows[1].2, Verdict::Regressed(_)));
+        // With no floor, the tiny entry's 2x ratio fails as before.
+        let rows = gate(&baseline, &measured, 1.5, 0.0);
+        assert!(matches!(rows[0].2, Verdict::Regressed(_)));
     }
 
     #[test]
@@ -322,7 +371,7 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
             id: "decoders_large_k/brand_new/32".into(),
             mean_ms: 1.0,
         }];
-        let rows = gate(&baseline, &measured, 1.5);
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
         assert!(rows.iter().all(|(_, _, v)| *v == Verdict::Missing));
         let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
         assert!(failed);
@@ -345,7 +394,7 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
                 mean_ms: 24.613,
             },
         ];
-        let rows = gate(&baseline, &measured, 1.5);
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
         let (_, failed) = render_markdown(&rows, &measured, 1.5);
         assert!(!failed);
 
@@ -353,7 +402,7 @@ bench decoders_large_k/session_worklist/64: 3 iters, mean 20.100 ms/iter\n";
             id: "decoders_large_k/brand_new/32".into(),
             mean_ms: 1.0,
         });
-        let rows = gate(&baseline, &measured, 1.5);
+        let rows = gate(&baseline, &measured, 1.5, 0.05);
         assert!(rows.iter().all(|(_, _, v)| matches!(v, Verdict::Ok(_))));
         let (markdown, failed) = render_markdown(&rows, &measured, 1.5);
         assert!(failed);

@@ -1244,29 +1244,135 @@ pub fn headline(locations: u64, base_seed: u64, threads: usize) -> ExperimentRep
     report
 }
 
-/// Runs every experiment, in paper order.  `threads` shards each heavy
-/// experiment's scenario matrix (`1` = the plain serial loops; any value
-/// produces byte-identical reports).
+/// One registered figure: the experiment service's unit of planning.
+///
+/// Every reproduced table/figure registers here instead of being hard-wired
+/// into `reproduce`'s match or `run_all`'s call list: the `reproduce` CLI
+/// derives its figure dispatch (and its "known figures" error message) from
+/// this table, [`run_all`] iterates it in order, and
+/// [`crate::orchestrate::SweepPlan`] expands it into addressable jobs.
+/// Adding a figure is one row; forgetting to wire it anywhere is no longer
+/// possible.
+pub struct FigureEntry {
+    /// Canonical figure id (the primary CLI name and the plan job id).
+    pub id: &'static str,
+    /// Accepted CLI spellings besides `id`.
+    pub aliases: &'static [&'static str],
+    /// Runs the figure.  Every runner takes the uniform
+    /// `(locations, base_seed, threads)` triple; figures that ignore a
+    /// parameter (e.g. [`table12`]) simply drop it, which keeps the
+    /// registry, the planner, and the shard runner signature-free.
+    pub run: fn(u64, u64, usize) -> ExperimentReport,
+}
+
+/// Every reproduced figure, in `reproduce all` output order.
+pub const FIGURES: [FigureEntry; 16] = [
+    FigureEntry {
+        id: "table12",
+        aliases: &["table1-2"],
+        run: |_, _, _| table12(),
+    },
+    FigureEntry {
+        id: "fig2_3",
+        aliases: &["fig2", "fig3"],
+        run: |_, seed, _| fig2_3(seed),
+    },
+    FigureEntry {
+        id: "fig7",
+        aliases: &[],
+        run: |_, seed, _| fig7(seed),
+    },
+    FigureEntry {
+        id: "fig8",
+        aliases: &[],
+        run: |_, _, _| fig8(),
+    },
+    FigureEntry {
+        id: "fig9",
+        aliases: &[],
+        run: |_, seed, _| fig9(seed),
+    },
+    FigureEntry {
+        id: "fig10",
+        aliases: &[],
+        run: fig10,
+    },
+    FigureEntry {
+        id: "fig11",
+        aliases: &[],
+        run: fig11,
+    },
+    FigureEntry {
+        id: "fig11_large",
+        aliases: &["fig11-large"],
+        run: fig11_large,
+    },
+    FigureEntry {
+        id: "fig12",
+        aliases: &[],
+        run: fig12,
+    },
+    FigureEntry {
+        id: "fig_fading",
+        aliases: &["fig-fading", "fading"],
+        run: fig_fading,
+    },
+    FigureEntry {
+        id: "fig_resilience",
+        aliases: &["fig-resilience", "resilience"],
+        run: fig_resilience,
+    },
+    FigureEntry {
+        id: "fig_fleet",
+        aliases: &["fig-fleet", "fleet"],
+        run: |_, seed, threads| fig_fleet(seed, threads),
+    },
+    FigureEntry {
+        id: "fig13",
+        aliases: &[],
+        run: fig13,
+    },
+    FigureEntry {
+        id: "fig14",
+        aliases: &[],
+        run: fig14,
+    },
+    FigureEntry {
+        id: "lemma51",
+        aliases: &["lemma5.1"],
+        run: |_, seed, threads| lemma51(seed, threads),
+    },
+    FigureEntry {
+        id: "headline",
+        aliases: &[],
+        run: headline,
+    },
+];
+
+/// Looks a figure up by its canonical id or any registered alias.
+#[must_use]
+pub fn find_figure(name: &str) -> Option<&'static FigureEntry> {
+    FIGURES
+        .iter()
+        .find(|f| f.id == name || f.aliases.contains(&name))
+}
+
+/// The canonical ids of every registered figure, in `run_all` order — the
+/// list `reproduce` prints when handed an unknown figure name.
+#[must_use]
+pub fn known_figure_ids() -> Vec<&'static str> {
+    FIGURES.iter().map(|f| f.id).collect()
+}
+
+/// Runs every experiment, in paper order (the [`FIGURES`] registry order).
+/// `threads` shards each heavy experiment's scenario matrix (`1` = the
+/// plain serial loops; any value produces byte-identical reports).
 #[must_use]
 pub fn run_all(locations: u64, base_seed: u64, threads: usize) -> Vec<ExperimentReport> {
-    vec![
-        table12(),
-        fig2_3(base_seed),
-        fig7(base_seed),
-        fig8(),
-        fig9(base_seed),
-        fig10(locations, base_seed, threads),
-        fig11(locations, base_seed, threads),
-        fig11_large(locations, base_seed, threads),
-        fig12(locations, base_seed, threads),
-        fig_fading(locations, base_seed, threads),
-        fig_resilience(locations, base_seed, threads),
-        fig_fleet(base_seed, threads),
-        fig13(locations, base_seed, threads),
-        fig14(locations, base_seed, threads),
-        lemma51(base_seed, threads),
-        headline(locations, base_seed, threads),
-    ]
+    FIGURES
+        .iter()
+        .map(|figure| (figure.run)(locations, base_seed, threads))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1559,6 +1665,49 @@ mod tests {
         let serial = fig_resilience(2, 77, 1);
         let parallel = fig_resilience(2, 77, 4);
         assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn figure_registry_resolves_ids_and_aliases_uniquely() {
+        // Canonical ids resolve to themselves, aliases resolve to their
+        // figure, and no spelling is claimed twice.
+        let mut seen = std::collections::HashSet::new();
+        for figure in &FIGURES {
+            assert!(seen.insert(figure.id), "duplicate figure id {}", figure.id);
+            assert_eq!(find_figure(figure.id).unwrap().id, figure.id);
+            for alias in figure.aliases {
+                assert!(seen.insert(alias), "duplicate alias {alias}");
+                assert_eq!(find_figure(alias).unwrap().id, figure.id);
+            }
+        }
+        assert!(find_figure("fig99").is_none());
+        assert!(find_figure("").is_none());
+        assert_eq!(known_figure_ids().len(), FIGURES.len());
+    }
+
+    #[test]
+    fn registry_order_is_the_run_all_paper_order() {
+        assert_eq!(
+            known_figure_ids(),
+            vec![
+                "table12",
+                "fig2_3",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig11_large",
+                "fig12",
+                "fig_fading",
+                "fig_resilience",
+                "fig_fleet",
+                "fig13",
+                "fig14",
+                "lemma51",
+                "headline",
+            ]
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod orchestrate;
 pub mod parallelism;
 pub mod report;
 

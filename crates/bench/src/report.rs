@@ -1,5 +1,7 @@
 //! Plain-text experiment reports.
 
+use crate::orchestrate::canonical::CanonicalJson;
+
 /// A small table of results for one reproduced figure or table.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
@@ -109,6 +111,70 @@ impl ExperimentReport {
         out.push('}');
         out
     }
+
+    /// Converts the report to a canonical JSON value — the shape job
+    /// artifacts embed.  Every field is a string (cells are pre-formatted),
+    /// so the conversion is lossless and [`Self::from_canonical`] restores a
+    /// report whose [`Self::to_json`] bytes are identical to the original's.
+    #[must_use]
+    pub fn to_canonical(&self) -> CanonicalJson {
+        let strings = |items: &[String]| {
+            CanonicalJson::Array(items.iter().map(|s| CanonicalJson::str(s)).collect())
+        };
+        CanonicalJson::object(vec![
+            ("findings", strings(&self.findings)),
+            ("headers", strings(&self.headers)),
+            ("id", CanonicalJson::str(&self.id)),
+            (
+                "paper_expectation",
+                CanonicalJson::str(&self.paper_expectation),
+            ),
+            (
+                "rows",
+                CanonicalJson::Array(self.rows.iter().map(|row| strings(row)).collect()),
+            ),
+            ("title", CanonicalJson::str(&self.title)),
+        ])
+    }
+
+    /// Restores a report from its [`Self::to_canonical`] value.
+    pub fn from_canonical(value: &CanonicalJson) -> Result<Self, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("report is missing `{key}`"))
+        };
+        let string = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("report `{key}` is not a string"))
+        };
+        let strings = |v: &CanonicalJson, what: &str| -> Result<Vec<String>, String> {
+            v.as_array()
+                .ok_or_else(|| format!("report `{what}` is not an array"))?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("report `{what}` holds a non-string"))
+                })
+                .collect()
+        };
+        Ok(Self {
+            id: string("id")?,
+            title: string("title")?,
+            paper_expectation: string("paper_expectation")?,
+            headers: strings(field("headers")?, "headers")?,
+            rows: field("rows")?
+                .as_array()
+                .ok_or("report `rows` is not an array")?
+                .iter()
+                .map(|row| strings(row, "rows"))
+                .collect::<Result<_, _>>()?,
+            findings: strings(field("findings")?, "findings")?,
+        })
+    }
 }
 
 /// Renders a slice of reports as a JSON array.
@@ -156,6 +222,25 @@ mod tests {
         assert!(text.contains("expect things"));
         assert!(text.contains("333"));
         assert!(text.contains("-> done"));
+    }
+
+    #[test]
+    fn canonical_roundtrip_preserves_legacy_json_bytes() {
+        let mut r = ExperimentReport::new(
+            "figX",
+            "title with \"quotes\"",
+            "expectation",
+            &["K", "mean"],
+        );
+        r.push_row(vec!["8".into(), "1.25".into()]);
+        r.push_row(vec!["16".into(), "2.50".into()]);
+        r.push_finding("a finding\nwith a newline".into());
+        let restored = ExperimentReport::from_canonical(&r.to_canonical()).unwrap();
+        assert_eq!(restored.to_json(), r.to_json());
+        // And the canonical value itself is byte-stable through its own
+        // parse/serialize cycle.
+        let bytes = r.to_canonical().serialize();
+        assert_eq!(CanonicalJson::parse(&bytes).unwrap().serialize(), bytes);
     }
 
     #[test]
